@@ -1,0 +1,83 @@
+// Command datagen materializes the synthetic dataset analogs to disk:
+// the weighted graph, and for learnt configurations also the topology,
+// ground truth and propagation log.
+//
+//	datagen -dataset nethept-W -out ./data
+//	datagen -all -scale 0.5 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"soi/internal/datasets"
+	"soi/internal/graph"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "", "configuration name (e.g. digg-S); see -list")
+		all   = flag.Bool("all", false, "materialize all 12 configurations")
+		list  = flag.Bool("list", false, "list configuration names and exit")
+		scale = flag.Float64("scale", 1, "dataset scale (1.0 = paper sizes / ~20)")
+		seed  = flag.Uint64("seed", 0, "replica seed (0 = canonical datasets)")
+		out   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range datasets.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	names := []string{*name}
+	if *all {
+		names = datasets.Names()
+	} else if *name == "" {
+		fmt.Fprintln(os.Stderr, "datagen: specify -dataset, -all or -list")
+		os.Exit(1)
+	}
+	if err := run(names, *scale, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(names []string, scale float64, seed uint64, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, n := range names {
+		d, err := datasets.Load(n, datasets.Config{Scale: scale, Seed: seed})
+		if err != nil {
+			return err
+		}
+		base := filepath.Join(outDir, d.Name)
+		if err := graph.SaveFile(base+".graph.tsv", d.Graph, nil); err != nil {
+			return err
+		}
+		written := []string{base + ".graph.tsv"}
+		if d.Log != nil {
+			if err := graph.SaveFile(base+".truth.tsv", d.GroundTruth, nil); err != nil {
+				return err
+			}
+			f, err := os.Create(base + ".log.tsv")
+			if err != nil {
+				return err
+			}
+			if err := d.Log.WriteTSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			written = append(written, base+".truth.tsv", base+".log.tsv")
+		}
+		fmt.Printf("%s: |V|=%d |E|=%d -> %v\n", d.Name, d.Graph.NumNodes(), d.Graph.NumEdges(), written)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soi/internal/graph"
+	"soi/internal/proplog"
+)
+
+func TestRunAssignedDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"nethept-W"}, 0.05, 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	gp := filepath.Join(dir, "nethept-W.graph.tsv")
+	g, _, err := graph.LoadFile(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("empty graph written")
+	}
+	// Assigned datasets have no truth/log files.
+	if _, err := os.Stat(filepath.Join(dir, "nethept-W.log.tsv")); err == nil {
+		t.Fatal("unexpected log file for assigned dataset")
+	}
+}
+
+func TestRunLearntDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"twitter-S"}, 0.05, 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".graph.tsv", ".truth.tsv", ".log.tsv"} {
+		if _, err := os.Stat(filepath.Join(dir, "twitter-S"+suffix)); err != nil {
+			t.Fatalf("missing %s: %v", suffix, err)
+		}
+	}
+	// The log parses back.
+	f, err := os.Open(filepath.Join(dir, "twitter-S.log.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := graph.LoadFile(filepath.Join(dir, "twitter-S.truth.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := proplog.ReadTSV(f, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumEvents() == 0 {
+		t.Fatal("empty log")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"nope-X"}, 0.05, 0, t.TempDir()); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+}

@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic dataset analogs (see DESIGN.md §3 and EXPERIMENTS.md).
+//
+//	experiments -exp table2                 # one artifact
+//	experiments -exp all -scale 1 -samples 1000 -k 200
+//	experiments -exp fig6 -datasets nethept-F,twitter-S -k 100
+//
+// Experiments: table1 fig3 table2 fig4 fig5 fig6 fig7 fig8, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"soi/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1, fig3, table2, fig4..fig8, ext-lt, ext-methods), 'all' or 'ext'")
+		scale    = flag.Float64("scale", 0.25, "dataset scale (1.0 = paper sizes / ~20)")
+		samples  = flag.Int("samples", 200, "possible worlds ℓ (paper: 1000)")
+		evalSamp = flag.Int("eval-samples", 0, "held-out evaluation worlds (default: same as -samples)")
+		k        = flag.Int("k", 50, "maximum seed-set size (paper: 200)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		dsets    = flag.String("datasets", "", "comma-separated dataset subset (default: all 12)")
+		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
+		replicas = flag.Int("replicas", 0, "with -exp fig6: run this many dataset replicas and report mean±sd")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		Samples:     *samples,
+		EvalSamples: *evalSamp,
+		K:           *k,
+		Seed:        *seed,
+		Out:         os.Stdout,
+	}
+	if *dsets != "" {
+		cfg.Datasets = strings.Split(*dsets, ",")
+	}
+
+	if *replicas > 0 && *exp == "fig6" {
+		if _, err := experiments.Fig6Replicated(cfg, *replicas); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: fig6 replicated: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	switch *exp {
+	case "all":
+		ids = experiments.All()
+	case "ext":
+		ids = experiments.Extensions()
+	}
+	for _, id := range ids {
+		if err := experiments.RunWithCSV(id, cfg, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

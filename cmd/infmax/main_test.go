@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"soi/internal/core"
+	"soi/internal/gen"
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/probs"
+)
+
+func writeTestGraph(t *testing.T, dir string) (string, *graph.Graph) {
+	t.Helper()
+	topo, err := gen.Generate(gen.Config{Model: "er", N: 40, M: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := probs.Fixed(topo, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "g.tsv")
+	if err := graph.SaveFile(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path, g
+}
+
+func TestRunSingleMethods(t *testing.T) {
+	dir := t.TempDir()
+	gp, _ := writeTestGraph(t, dir)
+	for _, m := range []string{"tc", "std", "rr", "degree", "degreediscount", "random"} {
+		if err := run(gp, 3, m, false, 30, 30, 1, ""); err != nil {
+			t.Fatalf("method %s: %v", m, err)
+		}
+	}
+	if err := run(gp, 3, "nope", false, 30, 30, 1, ""); err == nil {
+		t.Error("accepted unknown method")
+	}
+	if err := run("", 3, "tc", false, 30, 30, 1, ""); err == nil {
+		t.Error("accepted missing graph")
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	gp, _ := writeTestGraph(t, dir)
+	if err := run(gp, 3, "tc", true, 30, 30, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSphereStore(t *testing.T) {
+	dir := t.TempDir()
+	gp, g := writeTestGraph(t, dir)
+	x, err := index.Build(g, index.Options{Samples: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "spheres.bin")
+	if err := core.SaveSpheresFile(store, core.ComputeAll(x, core.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(gp, 3, "tc", false, 30, 30, 1, store); err != nil {
+		t.Fatal(err)
+	}
+	// A broken store path falls back to recomputation rather than failing.
+	if err := run(gp, 3, "tc", false, 30, 30, 1, filepath.Join(dir, "missing.bin")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Command sphere computes spheres of influence (typical cascades) for nodes
+// of a probabilistic graph.
+//
+// Typical usage:
+//
+//	sphere -graph network.tsv -node 42 -samples 1000 -cost-samples 1000
+//	sphere -graph network.tsv -all -out spheres.tsv
+//	sphere -graph network.tsv -node 42 -index idx.bin        # reuse an index
+//	sphere -graph network.tsv -build-index idx.bin           # build + save
+//
+// The graph file is an edge list: "from to probability" per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"soi/internal/core"
+	"soi/internal/graph"
+	"soi/internal/index"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "edge-list TSV file (required)")
+		node        = flag.Int("node", -1, "query node (original id); -1 with -all computes every node")
+		all         = flag.Bool("all", false, "compute the typical cascade of every node")
+		samples     = flag.Int("samples", 1000, "number of possible worlds ℓ")
+		costSamples = flag.Int("cost-samples", 0, "held-out samples for the expected-cost (stability) estimate; 0 disables")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		algorithm   = flag.String("algorithm", "prefix", "median algorithm: prefix, majority or exact")
+		indexPath   = flag.String("index", "", "load a previously built index instead of sampling")
+		buildIndex  = flag.String("build-index", "", "build the index, save it to this path, and exit")
+		noTransRed  = flag.Bool("no-transitive-reduction", false, "disable the condensation transitive reduction")
+		ltModel     = flag.Bool("lt", false, "use the Linear Threshold model (edge weights must satisfy Σ_in <= 1)")
+		outPath     = flag.String("out", "", "write results here instead of stdout")
+		storePath   = flag.String("store", "", "with -all: also persist the spheres to this file (see cmd/infmax -spheres)")
+		modes       = flag.Int("modes", 0, "with -node: also report up to this many cascade modes (die-out vs take-off)")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *node, *all, *samples, *costSamples, *seed,
+		*algorithm, *indexPath, *buildIndex, !*noTransRed, *ltModel, *outPath, *storePath, *modes); err != nil {
+		fmt.Fprintln(os.Stderr, "sphere:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath string, node int, all bool, samples, costSamples int, seed uint64,
+	algorithm, indexPath, buildIndexPath string, transRed, lt bool, outPath, storePath string, modes int) error {
+	if graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, orig, err := graph.LoadFile(graphPath)
+	if err != nil {
+		return err
+	}
+
+	var alg core.MedianAlgorithm
+	switch algorithm {
+	case "prefix":
+		alg = core.MedianPrefix
+	case "majority":
+		alg = core.MedianMajority
+	case "exact":
+		alg = core.MedianExact
+	default:
+		return fmt.Errorf("unknown -algorithm %q", algorithm)
+	}
+
+	var x *index.Index
+	if indexPath != "" {
+		x, err = index.LoadFile(indexPath, g)
+	} else {
+		model := index.IC
+		if lt {
+			model = index.LT
+		}
+		x, err = index.Build(g, index.Options{
+			Samples:             samples,
+			Seed:                seed,
+			TransitiveReduction: transRed,
+			Model:               model,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if buildIndexPath != "" {
+		if err := x.SaveFile(buildIndexPath); err != nil {
+			return err
+		}
+		fmt.Printf("index with %d worlds saved to %s\n", x.NumWorlds(), buildIndexPath)
+		return nil
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	opts := core.Options{Algorithm: alg, CostSamples: costSamples, CostSeed: seed ^ 0xC057}
+	if lt {
+		opts.Model = index.LT
+	}
+	name := func(v graph.NodeID) int64 {
+		if orig != nil {
+			return orig[v]
+		}
+		return int64(v)
+	}
+	report := func(res core.Result) {
+		fmt.Fprintf(w, "node %d: |sphere|=%d sample-cost=%.4f", name(res.Seeds[0]), res.Size(), res.SampleCost)
+		if res.ExpectedCost >= 0 {
+			fmt.Fprintf(w, " stability=%.4f", res.ExpectedCost)
+		}
+		fmt.Fprintf(w, " time=%s\n  members:", res.MedianTime)
+		for _, v := range res.Set {
+			fmt.Fprintf(w, " %d", name(v))
+		}
+		fmt.Fprintln(w)
+	}
+
+	switch {
+	case all:
+		results := core.ComputeAll(x, opts)
+		for _, res := range results {
+			report(res)
+		}
+		if storePath != "" {
+			if err := core.SaveSpheresFile(storePath, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "spheres persisted to %s\n", storePath)
+		}
+	case node >= 0:
+		// Translate the original id back to the dense space.
+		dense := graph.NodeID(-1)
+		if orig == nil {
+			dense = graph.NodeID(node)
+		} else {
+			for d, o := range orig {
+				if o == int64(node) {
+					dense = graph.NodeID(d)
+					break
+				}
+			}
+		}
+		if dense < 0 || int(dense) >= g.NumNodes() {
+			return fmt.Errorf("node %d not in graph", node)
+		}
+		report(core.Compute(x, dense, opts))
+		if modes > 1 {
+			ms := core.AnalyzeModes(x, dense, modes)
+			for i, m := range ms {
+				fmt.Fprintf(w, "  mode %d: p=%.3f |median|=%d within-cost=%.3f\n",
+					i+1, m.Probability, len(m.Median), m.Cost)
+			}
+			fmt.Fprintf(w, "  take-off probability: %.3f\n", core.TakeoffProbability(ms))
+		}
+	default:
+		return fmt.Errorf("specify -node or -all")
+	}
+	return nil
+}

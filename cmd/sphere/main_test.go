@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"soi/internal/gen"
+	"soi/internal/graph"
+	"soi/internal/probs"
+)
+
+func writeTestGraph(t *testing.T, dir string) string {
+	t.Helper()
+	topo, err := gen.Generate(gen.Config{Model: "er", N: 40, M: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := probs.WeightedCascade(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "g.tsv")
+	if err := graph.SaveFile(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleNode(t *testing.T) {
+	dir := t.TempDir()
+	gp := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "out.txt")
+	if err := run(gp, 5, false, 50, 50, 1, "prefix", "", "", true, false, out, "", 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "node 5:") || !strings.Contains(s, "stability=") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+	if !strings.Contains(s, "take-off probability") {
+		t.Fatalf("modes missing:\n%s", s)
+	}
+}
+
+func TestRunAllWithStore(t *testing.T) {
+	dir := t.TempDir()
+	gp := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "out.txt")
+	store := filepath.Join(dir, "spheres.bin")
+	if err := run(gp, -1, true, 30, 0, 1, "prefix", "", "", true, false, out, store, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(store); err != nil {
+		t.Fatalf("store not written: %v", err)
+	}
+}
+
+func TestRunIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	gp := writeTestGraph(t, dir)
+	idx := filepath.Join(dir, "idx.bin")
+	if err := run(gp, -1, false, 30, 0, 1, "prefix", "", idx, true, false, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.txt")
+	if err := run(gp, 3, false, 0, 0, 1, "prefix", idx, "", true, false, out, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "node 3:") {
+		t.Fatalf("unexpected output: %s", data)
+	}
+}
+
+func TestRunLTModel(t *testing.T) {
+	dir := t.TempDir()
+	gp := writeTestGraph(t, dir) // WC weights: valid LT input
+	out := filepath.Join(dir, "out.txt")
+	if err := run(gp, 2, false, 30, 20, 1, "prefix", "", "", true, true, out, "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	gp := writeTestGraph(t, dir)
+	if err := run("", 1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
+		t.Error("accepted missing graph")
+	}
+	if err := run(gp, 1, false, 10, 0, 1, "nope", "", "", true, false, "", "", 0); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+	if err := run(gp, 999, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
+		t.Error("accepted out-of-range node")
+	}
+	if err := run(gp, -1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
+		t.Error("accepted neither -node nor -all")
+	}
+}

@@ -1,0 +1,3 @@
+module soi
+
+go 1.22

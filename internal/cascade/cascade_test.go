@@ -1,0 +1,219 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/rng"
+)
+
+func paperGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(5)
+	b.AddEdge(4, 0, 0.7)
+	b.AddEdge(4, 1, 0.4)
+	b.AddEdge(4, 3, 0.3)
+	b.AddEdge(0, 1, 0.1)
+	b.AddEdge(3, 1, 0.6)
+	b.AddEdge(1, 0, 0.1)
+	b.AddEdge(1, 2, 0.4)
+	return b.MustBuild()
+}
+
+func lineGraph(t testing.TB, n int, p float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), p)
+	}
+	return b.MustBuild()
+}
+
+func TestSimulateSeedsAtStepZero(t *testing.T) {
+	g := paperGraph(t)
+	visited := make([]bool, g.NumNodes())
+	r := rng.New(1)
+	acts := Simulate(g, []graph.NodeID{4, 2}, r, visited)
+	if len(acts) < 2 {
+		t.Fatalf("activations: %v", acts)
+	}
+	if acts[0].Node != 4 || acts[0].Step != 0 || acts[1].Node != 2 || acts[1].Step != 0 {
+		t.Fatalf("seeds not at step 0: %v", acts[:2])
+	}
+}
+
+func TestSimulateStepsAreParentPlusOne(t *testing.T) {
+	// On a deterministic line (p = 1) the step of node i must be i.
+	g := lineGraph(t, 8, 1)
+	visited := make([]bool, g.NumNodes())
+	acts := Simulate(g, []graph.NodeID{0}, rng.New(2), visited)
+	if len(acts) != 8 {
+		t.Fatalf("expected full line activation, got %v", acts)
+	}
+	for i, a := range acts {
+		if int(a.Node) != i || int(a.Step) != i {
+			t.Fatalf("activation %d = %+v", i, a)
+		}
+	}
+}
+
+func TestSimulateScratchReset(t *testing.T) {
+	g := paperGraph(t)
+	visited := make([]bool, g.NumNodes())
+	Simulate(g, []graph.NodeID{4}, rng.New(3), visited)
+	for i, v := range visited {
+		if v {
+			t.Fatalf("visited[%d] not reset", i)
+		}
+	}
+}
+
+func TestSimulateDuplicateSeeds(t *testing.T) {
+	g := paperGraph(t)
+	visited := make([]bool, g.NumNodes())
+	acts := Simulate(g, []graph.NodeID{4, 4, 4}, rng.New(4), visited)
+	count := 0
+	for _, a := range acts {
+		if a.Node == 4 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("seed activated %d times", count)
+	}
+}
+
+func TestExpectedSpreadLine(t *testing.T) {
+	// On a line with p per hop, σ({0}) = Σ_{i=0..n-1} p^i.
+	const p = 0.5
+	g := lineGraph(t, 10, p)
+	want := 0.0
+	for i := 0; i < 10; i++ {
+		want += math.Pow(p, float64(i))
+	}
+	got := ExpectedSpread(g, []graph.NodeID{0}, 200000, 5, 0)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("σ = %v, want ~%v", got, want)
+	}
+}
+
+func TestExpectedSpreadStar(t *testing.T) {
+	// Star: center -> k leaves each with p. σ({center}) = 1 + k*p.
+	b := graph.NewBuilder(11)
+	for i := 1; i <= 10; i++ {
+		b.AddEdge(0, graph.NodeID(i), 0.3)
+	}
+	g := b.MustBuild()
+	got := ExpectedSpread(g, []graph.NodeID{0}, 200000, 6, 0)
+	if want := 1 + 10*0.3; math.Abs(got-want) > 0.05 {
+		t.Fatalf("σ = %v, want ~%v", got, want)
+	}
+}
+
+func TestExpectedSpreadDeterministicAcrossWorkers(t *testing.T) {
+	g := paperGraph(t)
+	a := ExpectedSpread(g, []graph.NodeID{4}, 5000, 7, 1)
+	b := ExpectedSpread(g, []graph.NodeID{4}, 5000, 7, 4)
+	if a != b {
+		t.Fatalf("worker count changed estimate: %v vs %v", a, b)
+	}
+}
+
+func TestExpectedSpreadZeroTrials(t *testing.T) {
+	g := paperGraph(t)
+	if got := ExpectedSpread(g, []graph.NodeID{4}, 0, 1, 0); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSpreadFromIndexMatchesMC(t *testing.T) {
+	g := paperGraph(t)
+	x, err := index.Build(g, index.Options{Samples: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := x.NewScratch()
+	viaIndex := SpreadFromIndex(x, []graph.NodeID{4}, s)
+	viaMC := ExpectedSpread(g, []graph.NodeID{4}, 200000, 10, 0)
+	if math.Abs(viaIndex-viaMC) > 0.05 {
+		t.Fatalf("index estimate %v vs MC %v", viaIndex, viaMC)
+	}
+}
+
+// TestSpreadMonotoneSubmodular verifies, on sampled random graphs, the two
+// properties Kempe et al. prove for σ under IC — evaluated exactly on a
+// shared world index so the test is deterministic: monotonicity
+// σ(S) <= σ(S∪{w}) and submodularity of marginal gains.
+func TestSpreadMonotoneSubmodular(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(15) + 4
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))
+			if u != v {
+				b.AddEdge(u, v, 0.05+0.9*r.Float64())
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		x, err := index.Build(g, index.Options{Samples: 30, Seed: seed})
+		if err != nil {
+			return false
+		}
+		s := x.NewScratch()
+		// S ⊆ T, w ∉ T.
+		sSet := []graph.NodeID{0}
+		tSet := []graph.NodeID{0, 1 % graph.NodeID(n)}
+		w := graph.NodeID(r.Intn(n))
+		sigma := func(set []graph.NodeID) float64 { return SpreadFromIndex(x, set, s) }
+		sS, sT := sigma(sSet), sigma(tSet)
+		if sS > sT+1e-9 {
+			return false // monotonicity violated
+		}
+		gainS := sigma(append(append([]graph.NodeID{}, sSet...), w)) - sS
+		gainT := sigma(append(append([]graph.NodeID{}, tSet...), w)) - sT
+		return gainS >= gainT-1e-9 // submodularity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	r := rng.New(1)
+	bb := graph.NewBuilder(2000)
+	for i := 0; i < 10000; i++ {
+		u, v := graph.NodeID(r.Intn(2000)), graph.NodeID(r.Intn(2000))
+		if u != v {
+			bb.AddEdge(u, v, 0.1)
+		}
+	}
+	g := bb.MustBuild()
+	visited := make([]bool, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Simulate(g, []graph.NodeID{graph.NodeID(i % 2000)}, r, visited)
+	}
+}
+
+func BenchmarkExpectedSpread(b *testing.B) {
+	r := rng.New(1)
+	bb := graph.NewBuilder(1000)
+	for i := 0; i < 5000; i++ {
+		u, v := graph.NodeID(r.Intn(1000)), graph.NodeID(r.Intn(1000))
+		if u != v {
+			bb.AddEdge(u, v, 0.1)
+		}
+	}
+	g := bb.MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExpectedSpread(g, []graph.NodeID{0, 1, 2}, 1000, uint64(i), 0)
+	}
+}

@@ -1,0 +1,227 @@
+// Package core solves the Typical Cascade problem (Problem 1 of the paper):
+// given a probabilistic graph and a source node s, find the set of nodes —
+// the sphere of influence of s — minimizing the expected Jaccard distance to
+// a random cascade from s.
+//
+// Evaluating the objective exactly is #P-hard (Theorem 1), so the solver
+// follows the paper's sampling scheme (§3, Algorithm 2):
+//
+//  1. extract ℓ sampled cascades of s from a prebuilt cascade index
+//     (internal/index), and
+//  2. return their Jaccard median (internal/jaccard).
+//
+// Theorem 2 guarantees that a constant number of samples (independent of the
+// graph size) yields a multiplicative (1+O(α)) approximation whenever the
+// optimal cost is Ω(α).
+//
+// The expected cost ρ of the returned set — the *stability* of the sphere of
+// influence — is estimated on freshly sampled held-out cascades, so the
+// reported cost is an unbiased estimate rather than the (optimistically
+// biased) training-sample cost, which is reported separately.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/jaccard"
+	"soi/internal/rng"
+	"soi/internal/worlds"
+)
+
+// MedianAlgorithm selects how the Jaccard median of the sampled cascades is
+// computed.
+type MedianAlgorithm int
+
+const (
+	// MedianPrefix is the frequency-prefix algorithm of Chierichetti et al.
+	// §3.2 — the algorithm the paper runs. 1+O(ε) approximation.
+	MedianPrefix MedianAlgorithm = iota
+	// MedianMajority keeps elements present in at least half the samples.
+	// ε + O(ε^{3/2}) approximation; faster, used in the seed-set argument.
+	MedianMajority
+	// MedianExact brute-forces all subsets; only for tiny universes.
+	MedianExact
+	// MedianPrefixRefined runs the prefix algorithm and polishes the result
+	// with 1-swap steepest-descent local search — never worse than
+	// MedianPrefix, at roughly 2-4x its cost.
+	MedianPrefixRefined
+)
+
+func (a MedianAlgorithm) String() string {
+	switch a {
+	case MedianPrefix:
+		return "prefix"
+	case MedianMajority:
+		return "majority"
+	case MedianExact:
+		return "exact"
+	case MedianPrefixRefined:
+		return "prefix+refine"
+	default:
+		return fmt.Sprintf("MedianAlgorithm(%d)", int(a))
+	}
+}
+
+// Options configures typical-cascade computation.
+type Options struct {
+	// Algorithm selects the median routine; the zero value is MedianPrefix.
+	Algorithm MedianAlgorithm
+	// CostSamples is the number of fresh held-out cascades used to estimate
+	// the expected cost ρ of the computed set. 0 disables the estimate
+	// (ExpectedCost is then NaN-free but reported as -1).
+	CostSamples int
+	// CostSeed seeds the held-out sampling.
+	CostSeed uint64
+	// Workers bounds parallelism in ComputeAll; 0 means GOMAXPROCS.
+	Workers int
+	// Model selects the propagation model for the held-out cost estimate.
+	// It must match the model the index was built with; the zero value is
+	// IC.
+	Model index.Model
+}
+
+// Result is the typical cascade (sphere of influence) of a source.
+type Result struct {
+	// Seeds are the source node(s) queried.
+	Seeds []graph.NodeID
+	// Set is the computed typical cascade C̃*, sorted.
+	Set []graph.NodeID
+	// SampleCost is the average Jaccard distance of Set to the ℓ indexed
+	// cascades it was derived from (the empirical objective ρ̃).
+	SampleCost float64
+	// ExpectedCost estimates ρ(Set) — the stability of the sphere — on
+	// held-out cascades; -1 when Options.CostSamples == 0.
+	ExpectedCost float64
+	// MedianTime is the time spent extracting cascades and computing the
+	// median (the quantity of the paper's Figure 4, left).
+	MedianTime time.Duration
+	// CostTime is the time spent estimating the expected cost (Figure 4,
+	// right).
+	CostTime time.Duration
+}
+
+// Size returns |Set|.
+func (r *Result) Size() int { return len(r.Set) }
+
+// Compute returns the typical cascade of node v using the cascades stored
+// in the index.
+func Compute(x *index.Index, v graph.NodeID, opts Options) Result {
+	s := x.NewScratch()
+	return computeWithScratch(x, []graph.NodeID{v}, opts, s)
+}
+
+// ComputeFromSet returns the typical cascade of a seed set (the paper's §5
+// extension: the stability of a seed set is the expected cost of its typical
+// cascade).
+func ComputeFromSet(x *index.Index, seeds []graph.NodeID, opts Options) Result {
+	s := x.NewScratch()
+	return computeWithScratch(x, seeds, opts, s)
+}
+
+func computeWithScratch(x *index.Index, seeds []graph.NodeID, opts Options, s *index.Scratch) Result {
+	start := time.Now()
+	samples := x.CascadesFromSet(seeds, s)
+	med := computeMedian(samples, opts.Algorithm)
+	res := Result{
+		Seeds:        append([]graph.NodeID(nil), seeds...),
+		Set:          med.Set,
+		SampleCost:   med.Cost,
+		ExpectedCost: -1,
+		MedianTime:   time.Since(start),
+	}
+	if opts.CostSamples > 0 {
+		cs := time.Now()
+		res.ExpectedCost = EstimateCostModel(x.Graph(), seeds, med.Set, opts.CostSamples, opts.CostSeed, opts.Model)
+		res.CostTime = time.Since(cs)
+	}
+	return res
+}
+
+func computeMedian(samples [][]graph.NodeID, alg MedianAlgorithm) jaccard.Median {
+	switch alg {
+	case MedianMajority:
+		return jaccard.Majority(samples, 0.5)
+	case MedianExact:
+		return jaccard.Exact(samples)
+	case MedianPrefixRefined:
+		return jaccard.PrefixRefined(samples)
+	default:
+		return jaccard.Prefix(samples)
+	}
+}
+
+// EstimateCost estimates ρ_{G,seeds}(set): the expected Jaccard distance
+// between set and a fresh random cascade from seeds. It draws `samples`
+// cascades lazily (without materializing worlds) with generators split from
+// seed, so estimates are reproducible and independent of the index.
+func EstimateCost(g *graph.Graph, seeds []graph.NodeID, set []graph.NodeID, samples int, seed uint64) float64 {
+	return EstimateCostModel(g, seeds, set, samples, seed, index.IC)
+}
+
+// EstimateCostModel is EstimateCost under an explicit propagation model.
+// IC cascades are drawn lazily; LT cascades materialize one live-edge world
+// per sample (LT's one-in-edge coupling cannot be sampled edge-by-edge
+// during a forward traversal).
+func EstimateCostModel(g *graph.Graph, seeds []graph.NodeID, set []graph.NodeID, samples int, seed uint64, model index.Model) float64 {
+	if samples <= 0 {
+		return -1
+	}
+	master := rng.New(seed)
+	visited := make([]bool, g.NumNodes())
+	var buf []graph.NodeID
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		r := master.Split(uint64(i))
+		if model == index.LT {
+			w := worlds.SampleLT(g, r)
+			buf = w.ReachableFromSet(seeds, visited, buf[:0])
+		} else {
+			buf = worlds.SampleCascadeFromSet(g, seeds, r, visited, buf[:0])
+		}
+		total += jaccard.Distance(set, buf)
+	}
+	return total / float64(samples)
+}
+
+// ComputeAll computes the typical cascade of every node (Algorithm 2),
+// parallelized across Options.Workers. Results are indexed by node id.
+func ComputeAll(x *index.Index, opts Options) []Result {
+	n := x.Graph().NumNodes()
+	out := make([]Result, n)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan graph.NodeID)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			s := x.NewScratch()
+			for v := range next {
+				o := opts
+				if o.CostSamples > 0 {
+					// Derive a distinct, stable cost seed per node so the
+					// held-out estimates are independent across nodes.
+					o.CostSeed = rng.Mix64(opts.CostSeed ^ uint64(v))
+				}
+				out[v] = computeWithScratch(x, []graph.NodeID{v}, o, s)
+			}
+		}(w)
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		next <- v
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"soi/internal/graph"
+	"soi/internal/jaccard"
+)
+
+// exactDistribution enumerates every possible world of a small graph and
+// returns the exact cascade distribution from src: a map from the cascade
+// (encoded as a node bitmask) to its probability.
+func exactDistribution(g *graph.Graph, src graph.NodeID) map[uint32]float64 {
+	m := g.NumEdges()
+	edges := g.Edges()
+	dist := make(map[uint32]float64)
+	for world := 0; world < 1<<uint(m); world++ {
+		p := 1.0
+		b := graph.NewBuilder(g.NumNodes())
+		for i, e := range edges {
+			if world&(1<<uint(i)) != 0 {
+				p *= e.Prob
+				b.AddEdge(e.From, e.To, 1)
+			} else {
+				p *= 1 - e.Prob
+			}
+		}
+		sub := b.MustBuild()
+		var mask uint32
+		for _, v := range sub.Reachable(src) {
+			mask |= 1 << uint(v)
+		}
+		dist[mask] += p
+	}
+	return dist
+}
+
+func maskToSet(mask uint32, n int) []graph.NodeID {
+	var out []graph.NodeID
+	for v := 0; v < n; v++ {
+		if mask&(1<<uint(v)) != 0 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// exactCost computes ρ(C) exactly from the enumerated distribution.
+func exactCost(dist map[uint32]float64, cand []graph.NodeID, n int) float64 {
+	total := 0.0
+	for mask, p := range dist {
+		total += p * jaccard.Distance(cand, maskToSet(mask, n))
+	}
+	return total
+}
+
+// TestExactTypicalCascadeFigure1 computes the *exact* optimal typical
+// cascade of the paper's Figure-1 graph by full enumeration (2^7 worlds ×
+// 2^5 candidate sets) and checks that (a) the paper's worked Example-1
+// probabilities hold exactly, and (b) the sampled solver converges to the
+// exact optimum.
+func TestExactTypicalCascadeFigure1(t *testing.T) {
+	g := paperGraph(t)
+	src := graph.NodeID(4) // v5
+	dist := exactDistribution(g, src)
+
+	// Probabilities must sum to 1.
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+
+	// Example 1: Pr[cascade == {v5,v1}] = 0.2646 exactly.
+	maskA := uint32(1<<4 | 1<<0)
+	if got := dist[maskA]; math.Abs(got-0.2646) > 1e-12 {
+		t.Fatalf("Pr[{v5,v1}] = %v, want 0.2646", got)
+	}
+	// Example 1: Pr[cascade == {v5,v2,v4}] = 0.036936 exactly.
+	maskB := uint32(1<<4 | 1<<1 | 1<<3)
+	if got := dist[maskB]; math.Abs(got-0.036936) > 1e-12 {
+		t.Fatalf("Pr[{v5,v2,v4}] = %v, want 0.036936", got)
+	}
+	// Example 1: {v5,v1,v3,v4} is impossible (v3 only reachable via v2).
+	maskC := uint32(1<<4 | 1<<0 | 1<<2 | 1<<3)
+	if got := dist[maskC]; got != 0 {
+		t.Fatalf("impossible cascade has probability %v", got)
+	}
+
+	// Exact optimal median over all 2^5 candidates.
+	n := g.NumNodes()
+	bestCost := 2.0
+	var bestSet []graph.NodeID
+	for cand := uint32(0); cand < 1<<uint(n); cand++ {
+		set := maskToSet(cand, n)
+		if c := exactCost(dist, set, n); c < bestCost {
+			bestCost = c
+			bestSet = set
+		}
+	}
+	t.Logf("exact optimum: %v with ρ = %v", bestSet, bestCost)
+
+	// The sampled solver (large ℓ, exact median search on the sample) must
+	// find a set whose *exact* cost is within sampling tolerance of the
+	// optimum — Theorem 2's guarantee, checked against ground truth.
+	x := buildIndex(t, g, 4000, 51)
+	res := Compute(x, src, Options{Algorithm: MedianExact})
+	gotCost := exactCost(dist, res.Set, n)
+	if gotCost > bestCost+0.01 {
+		t.Fatalf("sampled median %v has exact cost %v; optimum %v costs %v",
+			res.Set, gotCost, bestSet, bestCost)
+	}
+	// And the default prefix algorithm lands close too.
+	resPrefix := Compute(x, src, Options{})
+	if c := exactCost(dist, resPrefix.Set, n); c > bestCost+0.02 {
+		t.Fatalf("prefix median %v exact cost %v vs optimum %v", resPrefix.Set, c, bestCost)
+	}
+}

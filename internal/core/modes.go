@@ -1,0 +1,68 @@
+package core
+
+import (
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/jaccard"
+)
+
+// Mode analysis: when the cascades of a source are multi-modal (the typical
+// case for supercritical contagion: immediate die-out vs percolating
+// take-off), a single typical cascade either blurs the modes or collapses
+// onto the dominant one. AnalyzeModes clusters the sampled cascades and
+// returns one median per mode with its empirical probability, making the
+// "collapse" visible: a node whose sphere is just {v} with cost 0.45 will
+// typically show one heavy small mode and one light giant mode.
+
+// Mode is one cascade mode of a source.
+type Mode struct {
+	// Median is the Jaccard median of the mode's cascades, sorted.
+	Median []graph.NodeID
+	// Probability is the fraction of sampled cascades in this mode.
+	Probability float64
+	// Cost is the mean Jaccard distance of the mode's cascades to Median.
+	Cost float64
+}
+
+// AnalyzeModes clusters the ℓ indexed cascades of v into at most k modes
+// (k-medoids under Jaccard distance). Modes are returned by decreasing
+// probability. k = 2 cleanly separates die-out from take-off on
+// supercritical graphs.
+func AnalyzeModes(x *index.Index, v graph.NodeID, k int) []Mode {
+	s := x.NewScratch()
+	samples := x.Cascades(v, s)
+	clusters := jaccard.ClusterCascades(samples, k, 0)
+	out := make([]Mode, len(clusters))
+	for i, c := range clusters {
+		out[i] = Mode{
+			Median:      c.Median.Set,
+			Probability: c.Weight,
+			Cost:        c.Median.Cost,
+		}
+	}
+	return out
+}
+
+// TakeoffProbability returns, for supercritical diagnosis, the total
+// probability of the modes whose median is strictly larger than the
+// smallest mode's median — i.e. how often a cascade from v escapes its
+// smallest typical behaviour (regardless of whether escaping is the
+// dominant outcome). Returns 0 when there is a single mode.
+func TakeoffProbability(modes []Mode) float64 {
+	if len(modes) < 2 {
+		return 0
+	}
+	base := len(modes[0].Median)
+	for _, m := range modes[1:] {
+		if len(m.Median) < base {
+			base = len(m.Median)
+		}
+	}
+	total := 0.0
+	for _, m := range modes {
+		if len(m.Median) > base {
+			total += m.Probability
+		}
+	}
+	return total
+}

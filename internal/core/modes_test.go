@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"soi/internal/graph"
+)
+
+// takeoffGraph: node 0 reaches a 30-node chain through a single 0.4 edge —
+// 40% of cascades are the giant chain, 60% are just {0}.
+func takeoffGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(32)
+	b.AddEdge(0, 1, 0.4)
+	for i := 1; i < 31; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	return b.MustBuild()
+}
+
+func TestAnalyzeModesBimodal(t *testing.T) {
+	g := takeoffGraph(t)
+	x := buildIndex(t, g, 800, 41)
+	modes := AnalyzeModes(x, 0, 2)
+	if len(modes) != 2 {
+		t.Fatalf("got %d modes", len(modes))
+	}
+	// Dominant mode: die-out, {0}, probability ~0.6.
+	if len(modes[0].Median) != 1 || modes[0].Median[0] != 0 {
+		t.Fatalf("dominant mode median %v, want {0}", modes[0].Median)
+	}
+	if math.Abs(modes[0].Probability-0.6) > 0.06 {
+		t.Fatalf("die-out probability %v, want ~0.6", modes[0].Probability)
+	}
+	// Take-off mode: the whole graph, probability ~0.4, near-zero cost.
+	if len(modes[1].Median) != 32 {
+		t.Fatalf("take-off median has %d nodes, want 32", len(modes[1].Median))
+	}
+	if modes[1].Cost > 0.01 {
+		t.Fatalf("take-off mode cost %v, want ~0", modes[1].Cost)
+	}
+	if got := TakeoffProbability(modes); math.Abs(got-0.4) > 0.06 {
+		t.Fatalf("TakeoffProbability %v, want ~0.4", got)
+	}
+}
+
+// TestModesExplainSphereCollapse ties mode analysis to the typical cascade:
+// with take-off probability < 1/2 the sphere collapses to the singleton, and
+// the modes reveal why.
+func TestModesExplainSphereCollapse(t *testing.T) {
+	g := takeoffGraph(t)
+	x := buildIndex(t, g, 800, 42)
+	sphere := Compute(x, 0, Options{})
+	if len(sphere.Set) != 1 {
+		t.Fatalf("sphere = %v, expected singleton collapse", sphere.Set)
+	}
+	// The sphere cost is roughly the take-off probability (distance ~1 to
+	// every giant cascade, ~0 to die-outs).
+	modes := AnalyzeModes(x, 0, 2)
+	takeoff := TakeoffProbability(modes)
+	if math.Abs(sphere.SampleCost-takeoff) > 0.05 {
+		t.Fatalf("sphere cost %v vs takeoff %v: expected near-equality", sphere.SampleCost, takeoff)
+	}
+}
+
+func TestAnalyzeModesDeterministicSource(t *testing.T) {
+	// Probability-1 chain: exactly one mode with probability 1 and cost 0.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	g := b.MustBuild()
+	x := buildIndex(t, g, 100, 43)
+	modes := AnalyzeModes(x, 0, 3)
+	if len(modes) != 1 {
+		t.Fatalf("got %d modes", len(modes))
+	}
+	if modes[0].Probability != 1 || modes[0].Cost != 0 || len(modes[0].Median) != 5 {
+		t.Fatalf("mode %+v", modes[0])
+	}
+	if TakeoffProbability(modes) != 0 {
+		t.Fatal("single mode has nonzero takeoff")
+	}
+}

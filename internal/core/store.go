@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"soi/internal/graph"
+)
+
+// Persistent sphere store — the paper's §8 deployment scenario: "having the
+// spheres of influence precomputed and stored in an index might provide a
+// direct solution to several variants of influence maximization... when the
+// next campaign is run, we can again reuse the same spheres of influence."
+//
+// The store serializes the per-node typical cascades with their cost
+// estimates; a later process loads them and runs any of the max-cover
+// variants (plain, weighted, budgeted) without touching the sampler.
+//
+// Layout (little endian):
+//
+//	magic   [8]byte "SOISPH01"
+//	nodes   uint32            (spheres stored for every node, in id order)
+//	per node:
+//	  setLen       uint32
+//	  set          [setLen]int32
+//	  sampleCost   float64
+//	  expectedCost float64
+
+var sphereMagic = [8]byte{'S', 'O', 'I', 'S', 'P', 'H', '0', '1'}
+
+// SaveSpheres writes the results of ComputeAll. Results must be indexed by
+// node id (results[v].Seeds == [v]), as ComputeAll produces.
+func SaveSpheres(w io.Writer, results []Result) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, sphereMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(results))); err != nil {
+		return err
+	}
+	for v := range results {
+		r := &results[v]
+		if len(r.Seeds) != 1 || r.Seeds[0] != graph.NodeID(v) {
+			return fmt.Errorf("core: result %d is not the single-source sphere of node %d", v, v)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(r.Set))); err != nil {
+			return err
+		}
+		if len(r.Set) > 0 {
+			if err := binary.Write(bw, binary.LittleEndian, r.Set); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, r.SampleCost); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, r.ExpectedCost); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSpheres reads a sphere store. Results are indexed by node id; timing
+// fields are zero (they describe the original computation, not the load).
+func LoadSpheres(r io.Reader) ([]Result, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("core: read sphere magic: %w", err)
+	}
+	if m != sphereMagic {
+		return nil, fmt.Errorf("core: bad sphere-store magic %q", m[:])
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxNodes = 1 << 28
+	if n > maxNodes {
+		return nil, fmt.Errorf("core: implausible node count %d", n)
+	}
+	// Never trust the header for large allocations: grow incrementally so a
+	// corrupted count fails on the first missing record instead of OOMing.
+	out := make([]Result, 0, min32(n, 1<<16))
+	for v := uint32(0); v < n; v++ {
+		var setLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &setLen); err != nil {
+			return nil, err
+		}
+		if setLen > n {
+			return nil, fmt.Errorf("core: node %d sphere size %d exceeds node count", v, setLen)
+		}
+		set := make([]graph.NodeID, 0, min32(setLen, 1<<14))
+		prev := graph.NodeID(-1)
+		for j := uint32(0); j < setLen; j++ {
+			var e graph.NodeID
+			if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
+				return nil, err
+			}
+			if e < 0 || uint32(e) >= n {
+				return nil, fmt.Errorf("core: node %d sphere contains out-of-range member %d", v, e)
+			}
+			if e <= prev {
+				return nil, fmt.Errorf("core: node %d sphere not strictly sorted", v)
+			}
+			prev = e
+			set = append(set, e)
+		}
+		var sampleCost, expectedCost float64
+		if err := binary.Read(br, binary.LittleEndian, &sampleCost); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &expectedCost); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(sampleCost) || sampleCost < 0 || sampleCost > 1 {
+			return nil, fmt.Errorf("core: node %d has invalid sample cost %v", v, sampleCost)
+		}
+		if math.IsNaN(expectedCost) || expectedCost < -1 || expectedCost > 1 {
+			return nil, fmt.Errorf("core: node %d has invalid expected cost %v", v, expectedCost)
+		}
+		out = append(out, Result{
+			Seeds:        []graph.NodeID{graph.NodeID(v)},
+			Set:          set,
+			SampleCost:   sampleCost,
+			ExpectedCost: expectedCost,
+		})
+	}
+	return out, nil
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SaveSpheresFile writes the sphere store to path.
+func SaveSpheresFile(path string, results []Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveSpheres(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSpheresFile reads a sphere store from path.
+func LoadSpheresFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSpheres(f)
+}

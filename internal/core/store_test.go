@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"soi/internal/graph"
+	"soi/internal/rng"
+)
+
+func TestSphereStoreRoundTrip(t *testing.T) {
+	g := paperGraph(t)
+	x := buildIndex(t, g, 200, 31)
+	results := ComputeAll(x, Options{CostSamples: 100, CostSeed: 32})
+
+	var buf bytes.Buffer
+	if err := SaveSpheres(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpheres(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(results) {
+		t.Fatalf("loaded %d, want %d", len(loaded), len(results))
+	}
+	for v := range results {
+		if !equal(loaded[v].Set, results[v].Set) {
+			t.Fatalf("node %d: set %v != %v", v, loaded[v].Set, results[v].Set)
+		}
+		if loaded[v].SampleCost != results[v].SampleCost ||
+			loaded[v].ExpectedCost != results[v].ExpectedCost {
+			t.Fatalf("node %d: costs differ", v)
+		}
+		if len(loaded[v].Seeds) != 1 || loaded[v].Seeds[0] != graph.NodeID(v) {
+			t.Fatalf("node %d: seeds %v", v, loaded[v].Seeds)
+		}
+	}
+}
+
+func TestSphereStoreFile(t *testing.T) {
+	g := paperGraph(t)
+	x := buildIndex(t, g, 50, 33)
+	results := ComputeAll(x, Options{})
+	path := t.TempDir() + "/spheres.bin"
+	if err := SaveSpheresFile(path, results); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpheresFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != g.NumNodes() {
+		t.Fatalf("loaded %d spheres", len(loaded))
+	}
+}
+
+func TestSaveSpheresRejectsNonCanonical(t *testing.T) {
+	bad := []Result{{Seeds: []graph.NodeID{3}, Set: []graph.NodeID{3}}}
+	var buf bytes.Buffer
+	if err := SaveSpheres(&buf, bad); err == nil {
+		t.Fatal("accepted results not indexed by node id")
+	}
+}
+
+func TestLoadSpheresRejectsCorruption(t *testing.T) {
+	g := paperGraph(t)
+	x := buildIndex(t, g, 30, 34)
+	results := ComputeAll(x, Options{})
+	var buf bytes.Buffer
+	if err := SaveSpheres(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Bad magic.
+	data := append([]byte(nil), clean...)
+	data[0] ^= 0xFF
+	if _, err := LoadSpheres(bytes.NewReader(data)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Truncations fail cleanly.
+	for cut := 0; cut < len(clean); cut += 5 {
+		if _, err := LoadSpheres(bytes.NewReader(clean[:cut])); err == nil {
+			t.Fatalf("cut %d accepted", cut)
+		}
+	}
+	// Random byte corruption never panics.
+	r := rng.New(35)
+	for trial := 0; trial < 200; trial++ {
+		data := append([]byte(nil), clean...)
+		for c := 0; c < 1+r.Intn(3); c++ {
+			pos := 8 + r.Intn(len(data)-8)
+			data[pos] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: panic %v", trial, p)
+				}
+			}()
+			_, _ = LoadSpheres(bytes.NewReader(data))
+		}()
+	}
+}

@@ -1,0 +1,237 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+)
+
+const testScale = 0.05 // smallest supported scale keeps tests fast
+
+func TestNamesTwelve(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("got %d names: %v", len(names), names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %s", n)
+		}
+		seen[n] = true
+		if !strings.Contains(n, "-") {
+			t.Fatalf("name %s lacks suffix", n)
+		}
+	}
+}
+
+func TestLoadAssigned(t *testing.T) {
+	for _, name := range []string{"nethept-W", "nethept-F", "epinions-W", "slashdot-F"} {
+		d, err := Load(name, Config{Scale: testScale})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Graph == nil || d.Graph.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		if err := d.Graph.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Log != nil || d.GroundTruth != nil {
+			t.Fatalf("%s: assigned dataset has learning artifacts", name)
+		}
+		if strings.HasSuffix(name, "-F") {
+			for _, e := range d.Graph.Edges() {
+				if e.Prob != 0.1 {
+					t.Fatalf("%s: fixed edge prob %v", name, e.Prob)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadFixedVsWCDiffer(t *testing.T) {
+	w, err := Load("epinions-W", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load("epinions-F", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Graph.NumEdges() != f.Graph.NumEdges() {
+		t.Fatal("same topology expected")
+	}
+	if w.Graph.MeanProb() == f.Graph.MeanProb() {
+		t.Fatal("WC and fixed produced identical probabilities")
+	}
+}
+
+func TestLoadLearnt(t *testing.T) {
+	for _, name := range []string{"twitter-S", "twitter-G"} {
+		d, err := Load(name, Config{Scale: testScale})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Log == nil || d.GroundTruth == nil {
+			t.Fatalf("%s: missing learning artifacts", name)
+		}
+		if d.Graph.NumEdges() == 0 {
+			t.Fatalf("%s: learnt graph empty", name)
+		}
+		if d.Graph.NumEdges() > d.Topology.NumEdges() {
+			t.Fatalf("%s: learnt more edges than the topology has", name)
+		}
+		if err := d.Graph.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLearntMethodsShareTopologyAndLog(t *testing.T) {
+	s, err := Load("twitter-S", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load("twitter-G", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topology.NumEdges() != g.Topology.NumEdges() {
+		t.Fatal("topologies differ between -S and -G")
+	}
+	if s.Log.NumEvents() != g.Log.NumEvents() {
+		t.Fatal("logs differ between -S and -G")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, name := range []string{"nope-W", "digg-W", "nethept-S", "digg", "digg-X"} {
+		if _, err := Load(name, Config{Scale: testScale}); err == nil {
+			t.Errorf("Load(%q) succeeded", name)
+		}
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, err := Load("nethept-W", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("nethept-W", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestSeedReplicasDiffer(t *testing.T) {
+	a, err := Load("nethept-W", Config{Scale: testScale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("nethept-W", Config{Scale: testScale, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.Graph.NumEdges() == b.Graph.NumEdges()
+	if same {
+		ea, eb := a.Graph.Edges(), b.Graph.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestDirectedFlag(t *testing.T) {
+	d, err := Load("epinions-W", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Directed {
+		t.Fatal("epinions should be directed")
+	}
+	u, err := Load("nethept-W", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Directed {
+		t.Fatal("nethept should be mutual")
+	}
+	// Mutual analog must actually have symmetric topology.
+	for _, e := range u.Topology.Edges() {
+		if !u.Topology.HasEdge(e.To, e.From) {
+			t.Fatalf("mutual dataset has asymmetric edge %v", e)
+		}
+	}
+}
+
+func TestEdgeProbabilitiesSorted(t *testing.T) {
+	d, err := Load("nethept-W", Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := d.EdgeProbabilities()
+	if len(ps) != d.Graph.NumEdges() {
+		t.Fatalf("got %d probabilities for %d edges", len(ps), d.Graph.NumEdges())
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1] > ps[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+// TestGoyalProbsLargerThanSaito reproduces the Figure-3 observation that the
+// Goyal estimator yields larger probabilities than Saito EM on the same log.
+func TestGoyalProbsLargerThanSaito(t *testing.T) {
+	s, err := Load("twitter-S", Config{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load("twitter-G", Config{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Graph.MeanProb() <= s.Graph.MeanProb()*0.8 {
+		t.Fatalf("Goyal mean %v not larger than Saito mean %v (paper's Fig 3 shape)",
+			g.Graph.MeanProb(), s.Graph.MeanProb())
+	}
+}
+
+func TestAnalogProfilesMatchDesign(t *testing.T) {
+	// The structural knobs (tail skew, reciprocity) must actually manifest
+	// in the materialized analogs.
+	slash, err := Load("slashdot-F", Config{Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := slash.Topology.Profile()
+	if p.MedianOutDegree >= p.MeanOutDegree {
+		t.Fatalf("slashdot analog lacks degree skew: median %v >= mean %v",
+			p.MedianOutDegree, p.MeanOutDegree)
+	}
+	if p.Reciprocity < 0.05 {
+		t.Fatalf("slashdot analog reciprocity %v too low", p.Reciprocity)
+	}
+	neth, err := Load("nethept-W", Config{Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn := neth.Topology.Profile(); pn.Reciprocity != 1 {
+		t.Fatalf("mutual analog reciprocity %v, want 1", pn.Reciprocity)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: every figure's series can be written as one CSV per dataset,
+// ready for external plotting. Files land in dir as <figure>_<dataset>.csv.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// SaveFig3CSV writes one CDF file per dataset.
+func SaveFig3CSV(series []Fig3Series, dir string) error {
+	for _, s := range series {
+		rows := make([][]string, 0, len(s.CDF))
+		for _, pt := range s.CDF {
+			rows = append(rows, []string{ftoa(pt.X), ftoa(pt.F)})
+		}
+		if err := writeCSV(dir, fmt.Sprintf("fig3_%s.csv", s.Dataset),
+			[]string{"p", "F"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveFig6CSV writes one spread-curve file per dataset.
+func SaveFig6CSV(results []Fig6Result, dir string) error {
+	for _, r := range results {
+		rows := make([][]string, 0, len(r.Points))
+		for _, p := range r.Points {
+			rows = append(rows, []string{itoa(p.K), ftoa(p.SpreadStd), ftoa(p.SpreadTC)})
+		}
+		if err := writeCSV(dir, fmt.Sprintf("fig6_%s.csv", r.Dataset),
+			[]string{"k", "spread_std", "spread_tc"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveFig7CSV writes one saturation-trace file per dataset.
+func SaveFig7CSV(results []Fig7Result, dir string) error {
+	for _, r := range results {
+		n := len(r.RatiosStd)
+		if len(r.RatiosTC) > n {
+			n = len(r.RatiosTC)
+		}
+		rows := make([][]string, 0, n)
+		for i := 0; i < n; i++ {
+			row := []string{"", "", ""}
+			if i < len(r.RatiosStd) {
+				row[0] = itoa(r.RatiosStd[i].Round)
+				row[1] = ftoa(r.RatiosStd[i].Ratio)
+			}
+			if i < len(r.RatiosTC) {
+				if row[0] == "" {
+					row[0] = itoa(r.RatiosTC[i].Round)
+				}
+				row[2] = ftoa(r.RatiosTC[i].Ratio)
+			}
+			rows = append(rows, row)
+		}
+		if err := writeCSV(dir, fmt.Sprintf("fig7_%s.csv", r.Dataset),
+			[]string{"round", "ratio_std", "ratio_tc"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveFig8CSV writes one stability-curve file per dataset.
+func SaveFig8CSV(results []Fig8Result, dir string) error {
+	for _, r := range results {
+		rows := make([][]string, 0, len(r.Points))
+		for _, p := range r.Points {
+			rows = append(rows, []string{itoa(p.K), ftoa(p.CostStd), ftoa(p.CostTC)})
+		}
+		if err := writeCSV(dir, fmt.Sprintf("fig8_%s.csv", r.Dataset),
+			[]string{"k", "cost_std", "cost_tc"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWithCSV runs an experiment and, for the figure experiments with series
+// output, also writes CSV files into csvDir.
+func RunWithCSV(name string, cfg Config, csvDir string) error {
+	if csvDir == "" {
+		return Run(name, cfg)
+	}
+	switch name {
+	case "fig3":
+		series, err := Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		return SaveFig3CSV(series, csvDir)
+	case "fig6":
+		results, err := Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		return SaveFig6CSV(results, csvDir)
+	case "fig7":
+		results, err := Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		return SaveFig7CSV(results, csvDir)
+	case "fig8":
+		results, err := Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		return SaveFig8CSV(results, csvDir)
+	default:
+		return Run(name, cfg)
+	}
+}

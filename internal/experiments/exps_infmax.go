@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+
+	"soi/internal/core"
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/infmax"
+	"soi/internal/stats"
+)
+
+// Fig6Point is σ(S) for both methods at one seed-set size (paper Figure 6).
+type Fig6Point struct {
+	K         int
+	SpreadStd float64
+	SpreadTC  float64
+}
+
+// Fig6Result is the full spread-vs-k comparison for one dataset.
+type Fig6Result struct {
+	Dataset string
+	Points  []Fig6Point
+	// CrossoverK is the smallest k at which InfMax_TC's spread matches or
+	// exceeds InfMax_std's; 0 if the curves never cross within K.
+	CrossoverK int
+}
+
+// checkpoints returns the seed-set sizes at which spreads are reported:
+// every k up to 10, then every K/20 afterwards, always including K.
+func checkpoints(k int) []int {
+	var out []int
+	step := k / 20
+	if step < 1 {
+		step = 1
+	}
+	for i := 1; i <= k; i++ {
+		if i <= 10 || i%step == 0 || i == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Fig6 runs both influence-maximization methods to K seeds on every
+// configured dataset and evaluates the expected spread of every seed-set
+// prefix on a held-out evaluation index (both methods scored on identical
+// worlds, as in the paper).
+func Fig6(cfg Config) ([]Fig6Result, error) {
+	cfg.defaults()
+	var out []Fig6Result
+	for _, name := range cfg.Datasets {
+		d, err := cfg.loadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fig6One(cfg, d.Name, d.Graph)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+func fig6One(cfg Config, name string, g *graph.Graph) (*Fig6Result, error) {
+	x, err := cfg.buildIndex(g)
+	if err != nil {
+		return nil, err
+	}
+	stdSel, err := cfg.stdMC(g)
+	if err != nil {
+		return nil, err
+	}
+	_, spheres := spheresAndResults(x, 0, cfg.Seed)
+	tcSel, err := infmax.TC(g, spheres, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+
+	eval, err := cfg.buildEvalIndex(g)
+	if err != nil {
+		return nil, err
+	}
+	stdCurve := prefixSpreads(eval, stdSel.Seeds)
+	tcCurve := prefixSpreads(eval, tcSel.Seeds)
+
+	res := &Fig6Result{Dataset: name}
+	limit := len(stdCurve)
+	if len(tcCurve) < limit {
+		limit = len(tcCurve)
+	}
+	for _, k := range checkpoints(limit) {
+		res.Points = append(res.Points, Fig6Point{
+			K:         k,
+			SpreadStd: stdCurve[k-1],
+			SpreadTC:  tcCurve[k-1],
+		})
+	}
+	// Sustained crossover: the smallest k from which InfMax_TC's spread
+	// matches or exceeds InfMax_std's for every larger seed-set size. Brief
+	// early ties (both methods pick near-identical first seeds) don't count.
+	for k := limit; k >= 2; k-- {
+		if tcCurve[k-1] < stdCurve[k-1] {
+			if k < limit {
+				res.CrossoverK = k + 1
+			}
+			break
+		}
+		if k == 2 {
+			res.CrossoverK = 2
+		}
+	}
+
+	tbl := stats.NewTable("k", "σ(S) InfMax_std", "σ(S) InfMax_TC")
+	for _, p := range res.Points {
+		tbl.AddRow(p.K, p.SpreadStd, p.SpreadTC)
+	}
+	cfg.printf("Figure 6 [%s]: expected spread vs seed-set size (crossover at k=%d)\n%s\n",
+		name, res.CrossoverK, tbl)
+	return res, nil
+}
+
+// prefixSpreads returns σ̂(S_1..k) for every prefix of seeds, evaluated
+// incrementally on the evaluation index.
+func prefixSpreads(eval *index.Index, seeds []graph.NodeID) []float64 {
+	s := eval.NewScratch()
+	cov := eval.NewCoverage()
+	ell := float64(eval.NumWorlds())
+	out := make([]float64, len(seeds))
+	for i, v := range seeds {
+		cov.Add(v, s)
+		out[i] = float64(cov.CoveredNodeSlots()) / ell
+	}
+	return out
+}
+
+// Fig7Result is the saturation trace of one dataset (paper Figure 7).
+type Fig7Result struct {
+	Dataset   string
+	RatiosStd []infmax.SaturationPoint
+	RatiosTC  []infmax.SaturationPoint
+}
+
+// fig7Defaults are the two small configurations the paper uses.
+var fig7Defaults = []string{"nethept-F", "twitter-S"}
+
+// Fig7 runs the deliberately-unoptimized greedy for both methods and records
+// the MG_10/MG_1 marginal-gain ratio per round.
+func Fig7(cfg Config) ([]Fig7Result, error) {
+	cfg.defaults()
+	names := cfg.Datasets
+	if len(names) > 2 || len(names) == 12 {
+		names = fig7Defaults
+	}
+	const rank = 10
+	var out []Fig7Result
+	for _, name := range names {
+		d, err := cfg.loadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		x, err := cfg.buildIndex(d.Graph)
+		if err != nil {
+			return nil, err
+		}
+		ptsStd, _, err := infmax.SaturationStdMC(d.Graph, cfg.K, rank, cfg.mcOptions())
+		if err != nil {
+			return nil, err
+		}
+		_, spheres := spheresAndResults(x, 0, cfg.Seed)
+		ptsTC, _, err := infmax.SaturationTC(d.Graph, spheres, cfg.K, rank)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Result{Dataset: d.Name, RatiosStd: ptsStd, RatiosTC: ptsTC})
+
+		tbl := stats.NewTable("round", "MG10/MG1 InfMax_std", "MG10/MG1 InfMax_TC")
+		for i := range ptsStd {
+			tc := ""
+			if i < len(ptsTC) {
+				tc = fmt.Sprintf("%.4f", ptsTC[i].Ratio)
+			}
+			tbl.AddRow(ptsStd[i].Round, ptsStd[i].Ratio, tc)
+		}
+		cfg.printf("Figure 7 [%s]: marginal-gain ratio (saturation analysis)\n%s\n", d.Name, tbl)
+	}
+	return out, nil
+}
+
+// Fig8Point is the stability of both methods' seed sets at one size
+// (paper Figure 8).
+type Fig8Point struct {
+	K       int
+	CostStd float64
+	CostTC  float64
+}
+
+// Fig8Result is the seed-set stability comparison for one dataset.
+type Fig8Result struct {
+	Dataset string
+	Points  []Fig8Point
+}
+
+// fig8Checkpoints thins the stability evaluation (each point costs a
+// typical-cascade computation plus fresh cascade sampling).
+func fig8Checkpoints(k int) []int {
+	var out []int
+	for _, c := range []int{1, 2, 5, 10, 20, 50, 100, 150, 200} {
+		if c < k {
+			out = append(out, c)
+		}
+	}
+	return append(out, k)
+}
+
+// Fig8 selects seeds with both methods and reports the expected cost of the
+// seed sets' typical cascades — their stability — at increasing sizes. The
+// expected cost is estimated on fresh held-out cascades.
+func Fig8(cfg Config) ([]Fig8Result, error) {
+	cfg.defaults()
+	names := cfg.Datasets
+	if len(names) == 12 {
+		// The paper reports six datasets in Figure 8; use one per network.
+		names = []string{"digg-S", "flixster-S", "twitter-G", "nethept-W", "epinions-F", "slashdot-W"}
+	}
+	var out []Fig8Result
+	for _, name := range names {
+		d, err := cfg.loadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		x, err := cfg.buildIndex(d.Graph)
+		if err != nil {
+			return nil, err
+		}
+		stdSel, err := cfg.stdMC(d.Graph)
+		if err != nil {
+			return nil, err
+		}
+		_, spheres := spheresAndResults(x, 0, cfg.Seed)
+		tcSel, err := infmax.TC(d.Graph, spheres, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		eval, err := cfg.buildEvalIndex(d.Graph)
+		if err != nil {
+			return nil, err
+		}
+		res := Fig8Result{Dataset: d.Name}
+		for _, k := range fig8Checkpoints(min(len(stdSel.Seeds), len(tcSel.Seeds))) {
+			res.Points = append(res.Points, Fig8Point{
+				K:       k,
+				CostStd: seedSetStability(eval, d.Graph, stdSel.Seeds[:k], cfg),
+				CostTC:  seedSetStability(eval, d.Graph, tcSel.Seeds[:k], cfg),
+			})
+		}
+		out = append(out, res)
+		tbl := stats.NewTable("k", "cost InfMax_std", "cost InfMax_TC")
+		for _, p := range res.Points {
+			tbl.AddRow(p.K, p.CostStd, p.CostTC)
+		}
+		cfg.printf("Figure 8 [%s]: seed-set stability (lower = more reliable)\n%s\n", d.Name, tbl)
+	}
+	return out, nil
+}
+
+// seedSetStability computes the typical cascade of the seed set on the
+// evaluation index and estimates its expected cost on fresh cascades.
+func seedSetStability(eval *index.Index, g *graph.Graph, seeds []graph.NodeID, cfg Config) float64 {
+	res := core.ComputeFromSet(eval, seeds, core.Options{})
+	return core.EstimateCost(g, seeds, res.Set, cfg.EvalSamples, cfg.Seed^0xF168)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Fig7Shared is the saturation analysis with the shared-worlds (common
+// random numbers) spread estimator instead of fresh Monte-Carlo draws.
+// With shared worlds the per-candidate gains are exact functions of the
+// fixed sample, so when the true marginal gains equalize the measured
+// MG10/MG1 rises to 1 — the paper's Figure-7 shape. Under fresh-noise
+// estimation (Fig7) the ratio instead reflects the order statistics of the
+// sampling noise and stays below 1; comparing the two isolates what the
+// statistic actually measures.
+func Fig7Shared(cfg Config) ([]Fig7Result, error) {
+	cfg.defaults()
+	names := cfg.Datasets
+	if len(names) > 2 || len(names) == 12 {
+		names = fig7Defaults
+	}
+	const rank = 10
+	var out []Fig7Result
+	for _, name := range names {
+		d, err := cfg.loadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		x, err := cfg.buildIndex(d.Graph)
+		if err != nil {
+			return nil, err
+		}
+		ptsStd, _, err := infmax.SaturationStd(x, cfg.K, rank)
+		if err != nil {
+			return nil, err
+		}
+		_, spheres := spheresAndResults(x, 0, cfg.Seed)
+		ptsTC, _, err := infmax.SaturationTC(d.Graph, spheres, cfg.K, rank)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Result{Dataset: d.Name, RatiosStd: ptsStd, RatiosTC: ptsTC})
+
+		tbl := stats.NewTable("round", "MG10/MG1 std (shared worlds)", "MG10/MG1 InfMax_TC")
+		for i := range ptsStd {
+			tc := ""
+			if i < len(ptsTC) {
+				tc = fmt.Sprintf("%.4f", ptsTC[i].Ratio)
+			}
+			tbl.AddRow(ptsStd[i].Round, ptsStd[i].Ratio, tc)
+		}
+		cfg.printf("Figure 7 (shared-worlds estimator) [%s]\n%s\n", d.Name, tbl)
+	}
+	return out, nil
+}

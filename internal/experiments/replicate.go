@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"soi/internal/rng"
+	"soi/internal/stats"
+)
+
+// Replicated Figure 6: the spread-crossover claim is about stochastic
+// quantities, so a single run can mislead. Fig6Replicated materializes R
+// independent dataset replicas (different generation seeds), repeats the
+// whole pipeline on each, and reports per-checkpoint means with standard
+// deviations plus how many replicas showed a sustained crossover.
+
+// Fig6AggPoint is one seed-set size with across-replica statistics.
+type Fig6AggPoint struct {
+	K       int
+	MeanStd float64
+	SDStd   float64
+	MeanTC  float64
+	SDTC    float64
+}
+
+// Fig6Agg aggregates one dataset's replicas.
+type Fig6Agg struct {
+	Dataset  string
+	Replicas int
+	Points   []Fig6AggPoint
+	// Crossovers counts replicas with a sustained crossover (CrossoverK > 0).
+	Crossovers int
+	// MeanCrossoverK averages CrossoverK over the crossing replicas; 0 if none.
+	MeanCrossoverK float64
+}
+
+// Fig6Replicated runs Fig6 on `replicas` independent replicas of every
+// configured dataset.
+func Fig6Replicated(cfg Config, replicas int) ([]Fig6Agg, error) {
+	cfg.defaults()
+	if replicas < 1 {
+		return nil, fmt.Errorf("experiments: replicas must be >= 1, got %d", replicas)
+	}
+	var out []Fig6Agg
+	for _, name := range cfg.Datasets {
+		agg := Fig6Agg{Dataset: name, Replicas: replicas}
+		perK := map[int]*struct{ std, tc []float64 }{}
+		crossSum := 0
+		for rep := 0; rep < replicas; rep++ {
+			repCfg := cfg
+			repCfg.Out = nil
+			repCfg.defaults()
+			repCfg.Seed = rng.Mix64(cfg.Seed ^ uint64(rep+1))
+			d, err := repCfg.loadDataset(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := fig6One(repCfg, d.Name, d.Graph)
+			if err != nil {
+				return nil, err
+			}
+			if res.CrossoverK > 0 {
+				agg.Crossovers++
+				crossSum += res.CrossoverK
+			}
+			for _, p := range res.Points {
+				cell, ok := perK[p.K]
+				if !ok {
+					cell = &struct{ std, tc []float64 }{}
+					perK[p.K] = cell
+				}
+				cell.std = append(cell.std, p.SpreadStd)
+				cell.tc = append(cell.tc, p.SpreadTC)
+			}
+		}
+		if agg.Crossovers > 0 {
+			agg.MeanCrossoverK = float64(crossSum) / float64(agg.Crossovers)
+		}
+		for _, k := range checkpoints(cfg.K) {
+			cell, ok := perK[k]
+			if !ok || len(cell.std) != replicas {
+				continue // a replica fell short of this k (k > n at tiny scales)
+			}
+			sStd := stats.Summarize(cell.std)
+			sTC := stats.Summarize(cell.tc)
+			agg.Points = append(agg.Points, Fig6AggPoint{
+				K: k, MeanStd: sStd.Mean, SDStd: sStd.SD, MeanTC: sTC.Mean, SDTC: sTC.SD,
+			})
+		}
+		out = append(out, agg)
+
+		tbl := stats.NewTable("k", "σ std (mean±sd)", "σ TC (mean±sd)")
+		for _, p := range agg.Points {
+			tbl.AddRow(p.K,
+				fmt.Sprintf("%.1f±%.1f", p.MeanStd, p.SDStd),
+				fmt.Sprintf("%.1f±%.1f", p.MeanTC, p.SDTC))
+		}
+		cfg.printf("Figure 6 replicated [%s], %d replicas, %d crossed (mean k=%.0f)\n%s\n",
+			name, replicas, agg.Crossovers, agg.MeanCrossoverK, tbl)
+	}
+	return out, nil
+}

@@ -1,0 +1,429 @@
+// Package gen provides synthetic social-graph generators.
+//
+// The paper evaluates on six real-world benchmark networks. Those datasets
+// are not redistributable here, so each is replaced by a synthetic analog
+// whose degree distribution and directedness match the property the paper's
+// algorithms are sensitive to (see DESIGN.md §3). The generators are
+// deterministic given a seed.
+//
+// All generators return topology only, with every edge probability set to a
+// placeholder of 1.0; callers apply one of the probability-assignment
+// methods from internal/probs afterwards.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"soi/internal/graph"
+	"soi/internal/rng"
+)
+
+const placeholderProb = 1.0
+
+// Config selects a generator and its parameters.
+type Config struct {
+	// Model is one of "ba", "er", "ws", "copying", "sbm".
+	Model string
+	// N is the number of nodes.
+	N int
+	// M is the model-specific density parameter: edges added per node for
+	// "ba" and "copying", total edge count for "er", ring degree for "ws".
+	M int
+	// Mutual makes every generated link bidirectional, modelling the
+	// undirected benchmark graphs.
+	Mutual bool
+	// Beta is the rewiring probability for "ws" and the copy probability
+	// for "copying"; ignored by other models.
+	Beta float64
+	// TailExp, when positive, draws each "ba" node's out-link count from a
+	// truncated power law with this tail exponent (typical social networks:
+	// 2.1-3.0) and mean M, instead of the constant M. Real benchmark graphs
+	// have median degree far below the mean; the contagion regime (who takes
+	// off, how big the percolating core is) depends on that skew.
+	TailExp float64
+	// Clustering is the triad-formation probability for "ba" (Holme & Kim
+	// 2002): after each preferential attachment to a target, with this
+	// probability the next link goes to a random neighbor of that target,
+	// closing a triangle. Real social networks are strongly clustered; the
+	// dense core this creates is what makes supercritical cascade
+	// realizations stable (the same core is re-infected world after world).
+	Clustering float64
+	// Recip is the probability that a directed "ba" or "copying" link is
+	// reciprocated (the reverse edge added too). Real social networks have
+	// substantial reciprocity, which correlates in- and out-degree: the
+	// hubs cascades reach are also the nodes that spread furthest. This
+	// correlation is what makes fixed-probability contagion supercritical
+	// on the benchmark graphs. Ignored when Mutual is set.
+	Recip float64
+	// Blocks is the number of equal-size communities for "sbm"; Beta is
+	// then the fraction of links that cross communities.
+	Blocks int
+	// Seed drives the deterministic RNG.
+	Seed uint64
+}
+
+// Generate builds a graph according to cfg.
+func Generate(cfg Config) (*graph.Graph, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("gen: need at least 2 nodes, got %d", cfg.N)
+	}
+	r := rng.New(cfg.Seed)
+	switch cfg.Model {
+	case "ba":
+		return barabasiAlbert(cfg, r)
+	case "er":
+		return erdosRenyi(cfg, r)
+	case "ws":
+		return wattsStrogatz(cfg, r)
+	case "copying":
+		return copying(cfg, r)
+	case "sbm":
+		return blockModel(cfg, r)
+	default:
+		return nil, fmt.Errorf("gen: unknown model %q", cfg.Model)
+	}
+}
+
+// MustGenerate is Generate for known-good configurations; it panics on error.
+func MustGenerate(cfg Config) *graph.Graph {
+	g, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func addLink(b *graph.Builder, cfg Config, r *rng.PCG32, u, v graph.NodeID) {
+	if cfg.Mutual {
+		b.AddMutualEdge(u, v, placeholderProb)
+		return
+	}
+	b.AddEdge(u, v, placeholderProb)
+	if cfg.Recip > 0 && r.Float64() < cfg.Recip {
+		b.AddEdge(v, u, placeholderProb)
+	}
+}
+
+// barabasiAlbert grows a preferential-attachment graph: each new node u
+// attaches M out-links to existing nodes chosen proportionally to their
+// current degree (in the repeated-endpoints list formulation). The result
+// has a power-law in-degree tail like the paper's social networks.
+func barabasiAlbert(cfg Config, r *rng.PCG32) (*graph.Graph, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("gen: ba requires M >= 1, got %d", cfg.M)
+	}
+	b := graph.NewBuilder(cfg.N)
+	// endpoints holds one entry per edge endpoint; sampling uniformly from
+	// it is sampling nodes proportional to degree.
+	endpoints := make([]graph.NodeID, 0, 2*cfg.N*cfg.M)
+	// Seed clique among the first M+1 nodes so attachment has targets.
+	core := cfg.M + 1
+	if core > cfg.N {
+		core = cfg.N
+	}
+	for u := 0; u < core; u++ {
+		for v := 0; v < u; v++ {
+			addLink(b, cfg, r, graph.NodeID(u), graph.NodeID(v))
+			endpoints = append(endpoints, graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	sampleDegree := degreeSampler(cfg)
+	// outs tracks each node's chosen targets so triad formation can close
+	// triangles through them.
+	outs := make([][]graph.NodeID, cfg.N)
+	for u := core; u < cfg.N; u++ {
+		mu := sampleDegree(r)
+		if mu >= u {
+			mu = u // cannot exceed the number of available targets
+		}
+		chosen := make(map[graph.NodeID]bool, mu)
+		order := make([]graph.NodeID, 0, mu)
+		var last graph.NodeID = -1
+		for len(order) < mu {
+			var v graph.NodeID
+			switch {
+			case last >= 0 && cfg.Clustering > 0 && len(outs[last]) > 0 &&
+				r.Float64() < cfg.Clustering:
+				// Triad formation: link a neighbor of the previous target.
+				v = outs[last][r.Intn(len(outs[last]))]
+			case r.Intn(4) == 0:
+				// Mix uniform choice in with probability 1/4 to keep the
+				// tail from collapsing onto a handful of hubs.
+				v = graph.NodeID(r.Intn(u))
+			default:
+				v = endpoints[r.Intn(len(endpoints))]
+			}
+			if v == graph.NodeID(u) || chosen[v] {
+				last = -1 // failed triad: fall back to attachment next try
+				continue
+			}
+			chosen[v] = true
+			order = append(order, v)
+			last = v
+		}
+		for _, v := range order {
+			addLink(b, cfg, r, graph.NodeID(u), v)
+			outs[u] = append(outs[u], v)
+			endpoints = append(endpoints, graph.NodeID(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// degreeSampler returns a function drawing a node's out-link count. With
+// TailExp <= 0 it is the constant M. Otherwise counts follow a truncated
+// discrete power law P(k) ∝ k^(-TailExp) on [1, 40·M], rescaled so that the
+// realized mean is M: most nodes get the minimum, a heavy tail of hubs gets
+// the rest — the skew of real social-network degree sequences.
+func degreeSampler(cfg Config) func(r *rng.PCG32) int {
+	if cfg.TailExp <= 0 {
+		return func(*rng.PCG32) int { return cfg.M }
+	}
+	maxK := 40 * cfg.M
+	weights := make([]float64, maxK+1)
+	var totalW, meanRaw float64
+	for k := 1; k <= maxK; k++ {
+		w := powNeg(float64(k), cfg.TailExp)
+		weights[k] = w
+		totalW += w
+		meanRaw += w * float64(k)
+	}
+	meanRaw /= totalW
+	// Scale the support so the mean lands on M, then build the cumulative
+	// table for inverse-CDF sampling.
+	scale := float64(cfg.M) / meanRaw
+	cum := make([]float64, maxK+1)
+	acc := 0.0
+	for k := 1; k <= maxK; k++ {
+		acc += weights[k] / totalW
+		cum[k] = acc
+	}
+	return func(r *rng.PCG32) int {
+		u := r.Float64()
+		lo, hi := 1, maxK
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		k := int(float64(lo)*scale + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		return k
+	}
+}
+
+func powNeg(x, exp float64) float64 {
+	// x^(-exp) via repeated multiplication is wrong for fractional
+	// exponents; use the math package.
+	return mathPow(x, -exp)
+}
+
+// erdosRenyi generates G(n, m): M distinct directed edges chosen uniformly.
+func erdosRenyi(cfg Config, r *rng.PCG32) (*graph.Graph, error) {
+	maxEdges := cfg.N * (cfg.N - 1)
+	if cfg.Mutual {
+		maxEdges /= 2
+	}
+	if cfg.M < 1 || cfg.M > maxEdges {
+		return nil, fmt.Errorf("gen: er requires 1 <= M <= %d, got %d", maxEdges, cfg.M)
+	}
+	b := graph.NewBuilder(cfg.N)
+	seen := make(map[[2]graph.NodeID]bool, cfg.M)
+	for len(seen) < cfg.M {
+		u := graph.NodeID(r.Intn(cfg.N))
+		v := graph.NodeID(r.Intn(cfg.N))
+		if u == v {
+			continue
+		}
+		if cfg.Mutual && u > v {
+			u, v = v, u
+		}
+		key := [2]graph.NodeID{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		addLink(b, cfg, r, u, v)
+	}
+	return b.Build()
+}
+
+// wattsStrogatz builds a ring lattice where each node links to its M nearest
+// clockwise neighbors, then rewires each link's target with probability Beta.
+// It models the paper's sparse, low-variance-degree citation network.
+func wattsStrogatz(cfg Config, r *rng.PCG32) (*graph.Graph, error) {
+	if cfg.M < 1 || cfg.M >= cfg.N {
+		return nil, fmt.Errorf("gen: ws requires 1 <= M < N, got M=%d N=%d", cfg.M, cfg.N)
+	}
+	b := graph.NewBuilder(cfg.N)
+	type link struct{ u, v graph.NodeID }
+	seen := make(map[link]bool, cfg.N*cfg.M)
+	add := func(u, v graph.NodeID) bool {
+		if u == v {
+			return false
+		}
+		a, bb := u, v
+		if cfg.Mutual && a > bb {
+			a, bb = bb, a
+		}
+		if seen[link{a, bb}] {
+			return false
+		}
+		seen[link{a, bb}] = true
+		addLink(b, cfg, r, u, v)
+		return true
+	}
+	for u := 0; u < cfg.N; u++ {
+		for j := 1; j <= cfg.M; j++ {
+			v := graph.NodeID((u + j) % cfg.N)
+			if r.Float64() < cfg.Beta {
+				// Rewire: pick a random target, retrying collisions a few
+				// times before falling back to the lattice edge.
+				placed := false
+				for try := 0; try < 8; try++ {
+					w := graph.NodeID(r.Intn(cfg.N))
+					if add(graph.NodeID(u), w) {
+						placed = true
+						break
+					}
+				}
+				if placed {
+					continue
+				}
+			}
+			add(graph.NodeID(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// copying implements a copying/forest-fire-style model: each new node picks
+// a random prototype and copies each of the prototype's out-links with
+// probability Beta, otherwise linking to a uniform node; it always adds at
+// least one link to the prototype itself. Produces heavy-tailed, locally
+// clustered graphs.
+func copying(cfg Config, r *rng.PCG32) (*graph.Graph, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("gen: copying requires M >= 1, got %d", cfg.M)
+	}
+	b := graph.NewBuilder(cfg.N)
+	outs := make([][]graph.NodeID, cfg.N)
+	addLocal := func(u, v graph.NodeID) {
+		for _, w := range outs[u] {
+			if w == v {
+				return
+			}
+		}
+		outs[u] = append(outs[u], v)
+		addLink(b, cfg, r, u, v)
+	}
+	addLocal(1, 0)
+	for u := 2; u < cfg.N; u++ {
+		proto := graph.NodeID(r.Intn(u))
+		addLocal(graph.NodeID(u), proto)
+		budget := cfg.M - 1
+		for _, w := range outs[proto] {
+			if budget == 0 {
+				break
+			}
+			if w == graph.NodeID(u) {
+				continue
+			}
+			if r.Float64() < cfg.Beta {
+				addLocal(graph.NodeID(u), w)
+			} else {
+				x := graph.NodeID(r.Intn(u))
+				if x != graph.NodeID(u) {
+					addLocal(graph.NodeID(u), x)
+				}
+			}
+			budget--
+		}
+		for budget > 0 {
+			x := graph.NodeID(r.Intn(u))
+			if x != graph.NodeID(u) {
+				addLocal(graph.NodeID(u), x)
+			}
+			budget--
+		}
+	}
+	return b.Build()
+}
+
+// mathPow is a thin alias keeping the math import localized.
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// blockModel generates a stochastic block model: N nodes split into Blocks
+// equal communities; each node draws M out-links, each targeting its own
+// community with probability 1-Beta and a uniformly random other community
+// otherwise. Community structure stresses coverage-based seed selection
+// (one seed per community beats many seeds in one), which is why the model
+// is included alongside the social-network generators.
+func blockModel(cfg Config, r *rng.PCG32) (*graph.Graph, error) {
+	if cfg.Blocks < 2 {
+		return nil, fmt.Errorf("gen: sbm requires Blocks >= 2, got %d", cfg.Blocks)
+	}
+	if cfg.N < 2*cfg.Blocks {
+		return nil, fmt.Errorf("gen: sbm requires N >= 2*Blocks, got N=%d Blocks=%d", cfg.N, cfg.Blocks)
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("gen: sbm requires M >= 1, got %d", cfg.M)
+	}
+	if cfg.Beta < 0 || cfg.Beta > 1 {
+		return nil, fmt.Errorf("gen: sbm requires Beta in [0,1], got %v", cfg.Beta)
+	}
+	b := graph.NewBuilder(cfg.N)
+	size := cfg.N / cfg.Blocks
+	community := func(v int) int {
+		c := v / size
+		if c >= cfg.Blocks {
+			c = cfg.Blocks - 1 // remainder nodes join the last community
+		}
+		return c
+	}
+	memberRange := func(c int) (lo, hi int) {
+		lo = c * size
+		hi = lo + size
+		if c == cfg.Blocks-1 {
+			hi = cfg.N
+		}
+		return lo, hi
+	}
+	type link struct{ u, v graph.NodeID }
+	seen := make(map[link]bool, cfg.N*cfg.M)
+	for u := 0; u < cfg.N; u++ {
+		cu := community(u)
+		for placed := 0; placed < cfg.M; {
+			c := cu
+			if r.Float64() < cfg.Beta {
+				c = r.Intn(cfg.Blocks - 1)
+				if c >= cu {
+					c++
+				}
+			}
+			lo, hi := memberRange(c)
+			v := lo + r.Intn(hi-lo)
+			if v == u {
+				continue
+			}
+			a, bb := graph.NodeID(u), graph.NodeID(v)
+			if cfg.Mutual && a > bb {
+				a, bb = bb, a
+			}
+			if seen[link{a, bb}] {
+				placed++ // avoid livelock in tiny dense communities
+				continue
+			}
+			seen[link{a, bb}] = true
+			addLink(b, cfg, r, graph.NodeID(u), graph.NodeID(v))
+			placed++
+		}
+	}
+	return b.Build()
+}

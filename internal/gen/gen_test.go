@@ -1,0 +1,268 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"soi/internal/graph"
+	"soi/internal/rng"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, model := range []string{"ba", "er", "ws", "copying"} {
+		cfg := Config{Model: model, N: 200, M: 3, Beta: 0.3, Seed: 17}
+		if model == "er" {
+			cfg.M = 600
+		}
+		g1 := MustGenerate(cfg)
+		g2 := MustGenerate(cfg)
+		e1, e2 := g1.Edges(), g2.Edges()
+		if len(e1) != len(e2) {
+			t.Fatalf("%s: nondeterministic edge count %d vs %d", model, len(e1), len(e2))
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("%s: edge %d differs: %v vs %v", model, i, e1[i], e2[i])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(Config{Model: "ba", N: 200, M: 3, Seed: 1})
+	b := MustGenerate(Config{Model: "ba", N: 200, M: 3, Seed: 2})
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) == len(eb) {
+		same := true
+		for i := range ea {
+			if ea[i] != eb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, model := range []string{"ba", "er", "ws", "copying"} {
+		for _, mutual := range []bool{false, true} {
+			cfg := Config{Model: model, N: 150, M: 4, Beta: 0.2, Mutual: mutual, Seed: 3}
+			if model == "er" {
+				cfg.M = 400
+			}
+			g, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s mutual=%v: %v", model, mutual, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s mutual=%v: %v", model, mutual, err)
+			}
+			if g.NumNodes() != cfg.N {
+				t.Fatalf("%s: NumNodes = %d, want %d", model, g.NumNodes(), cfg.N)
+			}
+			if g.NumEdges() == 0 {
+				t.Fatalf("%s: no edges", model)
+			}
+		}
+	}
+}
+
+func TestMutualSymmetric(t *testing.T) {
+	for _, model := range []string{"ba", "er", "ws", "copying"} {
+		cfg := Config{Model: model, N: 120, M: 3, Beta: 0.25, Mutual: true, Seed: 5}
+		if model == "er" {
+			cfg.M = 300
+		}
+		g := MustGenerate(cfg)
+		for _, e := range g.Edges() {
+			if !g.HasEdge(e.To, e.From) {
+				t.Fatalf("%s: edge (%d,%d) has no reverse", model, e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestERExactEdgeCount(t *testing.T) {
+	g := MustGenerate(Config{Model: "er", N: 100, M: 250, Seed: 9})
+	if g.NumEdges() != 250 {
+		t.Fatalf("er edges = %d, want 250", g.NumEdges())
+	}
+	gm := MustGenerate(Config{Model: "er", N: 100, M: 250, Mutual: true, Seed: 9})
+	if gm.NumEdges() != 500 {
+		t.Fatalf("er mutual edges = %d, want 500", gm.NumEdges())
+	}
+}
+
+func TestBAHeavyTail(t *testing.T) {
+	g := MustGenerate(Config{Model: "ba", N: 3000, M: 4, Seed: 11})
+	in := g.InDegrees()
+	sort.Sort(sort.Reverse(sort.IntSlice(in)))
+	// The hub should dominate the median node by a wide margin in a
+	// preferential-attachment graph.
+	median := in[len(in)/2]
+	if median == 0 {
+		median = 1
+	}
+	if in[0] < 10*median {
+		t.Fatalf("no heavy tail: max in-degree %d vs median %d", in[0], median)
+	}
+}
+
+func TestWSRegularWhenNoRewire(t *testing.T) {
+	g := MustGenerate(Config{Model: "ws", N: 60, M: 3, Beta: 0, Seed: 2})
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if g.OutDegree(u) != 3 {
+			t.Fatalf("node %d out-degree %d, want 3", u, g.OutDegree(u))
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	bad := []Config{
+		{Model: "nope", N: 10, M: 1},
+		{Model: "ba", N: 1, M: 1},
+		{Model: "ba", N: 10, M: 0},
+		{Model: "er", N: 10, M: 0},
+		{Model: "er", N: 10, M: 10_000},
+		{Model: "ws", N: 10, M: 10},
+		{Model: "copying", N: 10, M: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestSBMValidation(t *testing.T) {
+	bad := []Config{
+		{Model: "sbm", N: 100, M: 3, Blocks: 1},
+		{Model: "sbm", N: 6, M: 3, Blocks: 4},
+		{Model: "sbm", N: 100, M: 0, Blocks: 4},
+		{Model: "sbm", N: 100, M: 3, Blocks: 4, Beta: 1.5},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	cfg := Config{Model: "sbm", N: 400, M: 6, Blocks: 4, Beta: 0.1, Seed: 30}
+	g := MustGenerate(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Measure the realized cross-community edge fraction: must be near Beta.
+	size := cfg.N / cfg.Blocks
+	cross := 0
+	for _, e := range g.Edges() {
+		if int(e.From)/size != int(e.To)/size {
+			cross++
+		}
+	}
+	frac := float64(cross) / float64(g.NumEdges())
+	if frac < 0.05 || frac > 0.2 {
+		t.Fatalf("cross-community fraction %v, want ~0.1", frac)
+	}
+}
+
+func TestSBMDeterministic(t *testing.T) {
+	cfg := Config{Model: "sbm", N: 200, M: 4, Blocks: 5, Beta: 0.2, Seed: 31}
+	a, b := MustGenerate(cfg), MustGenerate(cfg)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestSBMMutual(t *testing.T) {
+	g := MustGenerate(Config{Model: "sbm", N: 120, M: 3, Blocks: 3, Beta: 0.3, Mutual: true, Seed: 32})
+	for _, e := range g.Edges() {
+		if !g.HasEdge(e.To, e.From) {
+			t.Fatalf("edge (%d,%d) not mutual", e.From, e.To)
+		}
+	}
+}
+
+func TestDegreeSamplerMeanCalibrated(t *testing.T) {
+	// The power-law out-degree sampler must realize mean ≈ M.
+	for _, m := range []int{3, 7, 12} {
+		for _, exp := range []float64{1.9, 2.2, 2.6} {
+			cfg := Config{Model: "ba", M: m, TailExp: exp}
+			sample := degreeSampler(cfg)
+			r := rng.New(uint64(m)*100 + uint64(exp*10))
+			sum, n := 0, 50000
+			maxSeen := 0
+			for i := 0; i < n; i++ {
+				d := sample(r)
+				if d < 1 {
+					t.Fatalf("m=%d exp=%v: degree %d < 1", m, exp, d)
+				}
+				if d > maxSeen {
+					maxSeen = d
+				}
+				sum += d
+			}
+			mean := float64(sum) / float64(n)
+			if mean < 0.7*float64(m) || mean > 1.4*float64(m) {
+				t.Fatalf("m=%d exp=%v: realized mean %v", m, exp, mean)
+			}
+			if maxSeen < 3*m {
+				t.Fatalf("m=%d exp=%v: no tail (max %d)", m, exp, maxSeen)
+			}
+		}
+	}
+}
+
+func TestRecipProducesReciprocity(t *testing.T) {
+	g := MustGenerate(Config{Model: "ba", N: 2000, M: 5, Recip: 0.5, Seed: 40})
+	p := g.Profile()
+	// Each original link is reciprocated w.p. 0.5: overall reciprocity of
+	// the directed edge set is 2·0.5/(1+0.5) = 2/3.
+	if p.Reciprocity < 0.55 || p.Reciprocity > 0.8 {
+		t.Fatalf("reciprocity %v, want ~0.67", p.Reciprocity)
+	}
+	g0 := MustGenerate(Config{Model: "ba", N: 2000, M: 5, Seed: 40})
+	if p0 := g0.Profile(); p0.Reciprocity > 0.05 {
+		t.Fatalf("recip=0 graph has reciprocity %v", p0.Reciprocity)
+	}
+}
+
+func TestClusteringRaisesTriangles(t *testing.T) {
+	plain := MustGenerate(Config{Model: "ba", N: 1500, M: 4, Mutual: true, Seed: 41})
+	clustered := MustGenerate(Config{Model: "ba", N: 1500, M: 4, Mutual: true, Clustering: 0.7, Seed: 41})
+	if tc, tp := countTriangles(clustered), countTriangles(plain); tc <= tp {
+		t.Fatalf("clustering did not raise triangles: %d <= %d", tc, tp)
+	}
+}
+
+// countTriangles counts directed 3-cycles through sorted adjacency.
+func countTriangles(g *graph.Graph) int {
+	n := g.NumNodes()
+	count := 0
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		nbrs, _ := g.Neighbors(u)
+		for _, v := range nbrs {
+			if v <= u {
+				continue
+			}
+			nv, _ := g.Neighbors(v)
+			for _, w := range nv {
+				if w > v && g.HasEdge(u, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV feeds arbitrary bytes to the edge-list parser: it must never
+// panic, and anything it accepts must be a valid graph that round-trips.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("1 2 0.5\n2 3 0.25\n")
+	f.Add("# comment\n\n10\t20\t1\n")
+	f.Add("a b c\n")
+	f.Add("1 1 0.5\n")
+	f.Add("9999999999999999999 2 0.5\n")
+	f.Add("1 2 NaN\n")
+	f.Add("1 2 1e-300\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, orig, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		if len(orig) != g.NumNodes() {
+			t.Fatalf("mapping has %d entries for %d nodes", len(orig), g.NumNodes())
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, g, orig); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, _, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+		}
+	})
+}

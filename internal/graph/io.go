@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is one edge per line:
+//
+//	<from> <tab-or-space> <to> <tab-or-space> <probability>
+//
+// Lines starting with '#' and blank lines are ignored. Node identifiers may
+// be arbitrary non-negative integers; they are remapped to a dense 0..N-1
+// space in first-appearance order, and the mapping is returned so callers
+// can report results in the original identifier space.
+
+// ReadTSV parses the edge-list format from r.
+// It returns the graph and the dense-ID -> original-ID mapping.
+func ReadTSV(r io.Reader) (*Graph, []int64, error) {
+	b := NewBuilder(0)
+	remap := make(map[int64]NodeID)
+	var orig []int64
+	intern := func(raw int64) NodeID {
+		if id, ok := remap[raw]; ok {
+			return id
+		}
+		id := NodeID(len(orig))
+		remap[raw] = id
+		orig = append(orig, raw)
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("graph: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source id: %v", lineNo, err)
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad target id: %v", lineNo, err)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad probability: %v", lineNo, err)
+		}
+		b.AddEdge(intern(from), intern(to), p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: read: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, orig, nil
+}
+
+// WriteTSV writes g in the edge-list format. If origIDs is non-nil it must
+// have length NumNodes and is used to translate dense IDs back to original
+// identifiers.
+func WriteTSV(w io.Writer, g *Graph, origIDs []int64) error {
+	bw := bufio.NewWriter(w)
+	name := func(id NodeID) int64 {
+		if origIDs != nil {
+			return origIDs[id]
+		}
+		return int64(id)
+	}
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		nbrs, probs := g.Neighbors(u)
+		for i, v := range nbrs {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", name(u), name(v), probs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a graph from the file at path.
+func LoadFile(path string) (*Graph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadTSV(f)
+}
+
+// SaveFile writes g to the file at path, creating or truncating it.
+func SaveFile(path string, g *Graph, origIDs []int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTSV(f, g, origIDs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

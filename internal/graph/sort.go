@@ -1,0 +1,7 @@
+package graph
+
+import "sort"
+
+func sortInt32s(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

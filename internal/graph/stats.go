@@ -1,0 +1,75 @@
+package graph
+
+import "sort"
+
+// Profile summarizes the structural properties the dataset analogs are
+// matched on (see DESIGN.md §3): degree skew, reciprocity, and density.
+type Profile struct {
+	Nodes           int
+	Edges           int
+	MeanOutDegree   float64
+	MedianOutDegree float64
+	MaxOutDegree    int
+	MaxInDegree     int
+	// Reciprocity is the fraction of directed edges whose reverse edge also
+	// exists.
+	Reciprocity float64
+	// GiniOutDegree measures out-degree inequality in [0,1): 0 is uniform,
+	// values near 1 indicate a heavy hub tail.
+	GiniOutDegree float64
+}
+
+// Profile computes the structural profile of g.
+func (g *Graph) Profile() Profile {
+	n := g.NumNodes()
+	p := Profile{Nodes: n, Edges: g.NumEdges()}
+	if n == 0 {
+		return p
+	}
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		out[v] = g.OutDegree(NodeID(v))
+		if out[v] > p.MaxOutDegree {
+			p.MaxOutDegree = out[v]
+		}
+	}
+	for _, d := range g.InDegrees() {
+		if d > p.MaxInDegree {
+			p.MaxInDegree = d
+		}
+	}
+	p.MeanOutDegree = float64(g.NumEdges()) / float64(n)
+
+	sorted := append([]int(nil), out...)
+	sort.Ints(sorted)
+	if n%2 == 1 {
+		p.MedianOutDegree = float64(sorted[n/2])
+	} else {
+		p.MedianOutDegree = float64(sorted[n/2-1]+sorted[n/2]) / 2
+	}
+
+	// Gini coefficient over the sorted out-degree sequence.
+	var cum, weighted float64
+	for i, d := range sorted {
+		cum += float64(d)
+		weighted += float64(d) * float64(i+1)
+	}
+	if cum > 0 {
+		p.GiniOutDegree = (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+	}
+
+	// Reciprocity: fraction of edges with a reverse edge.
+	if g.NumEdges() > 0 {
+		recip := 0
+		for u := NodeID(0); int(u) < n; u++ {
+			nbrs, _ := g.Neighbors(u)
+			for _, v := range nbrs {
+				if g.HasEdge(v, u) {
+					recip++
+				}
+			}
+		}
+		p.Reciprocity = float64(recip) / float64(g.NumEdges())
+	}
+	return p
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileEmpty(t *testing.T) {
+	g := NewBuilder(3).MustBuild()
+	p := g.Profile()
+	if p.Nodes != 3 || p.Edges != 0 || p.Reciprocity != 0 || p.GiniOutDegree != 0 {
+		t.Fatalf("empty profile = %+v", p)
+	}
+}
+
+func TestProfileMutualGraphFullyReciprocal(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddMutualEdge(0, 1, 0.5)
+	b.AddMutualEdge(1, 2, 0.5)
+	b.AddMutualEdge(2, 3, 0.5)
+	g := b.MustBuild()
+	p := g.Profile()
+	if p.Reciprocity != 1 {
+		t.Fatalf("mutual graph reciprocity %v, want 1", p.Reciprocity)
+	}
+	if p.Edges != 6 {
+		t.Fatalf("edges %d", p.Edges)
+	}
+}
+
+func TestProfileDirectedChainNoReciprocity(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(2, 3, 0.5)
+	g := b.MustBuild()
+	p := g.Profile()
+	if p.Reciprocity != 0 {
+		t.Fatalf("chain reciprocity %v, want 0", p.Reciprocity)
+	}
+	if p.MeanOutDegree != 0.75 {
+		t.Fatalf("mean out-degree %v, want 0.75", p.MeanOutDegree)
+	}
+	if p.MaxOutDegree != 1 || p.MaxInDegree != 1 {
+		t.Fatalf("max degrees %+v", p)
+	}
+	// Degrees 0,1,1,1 sorted: median = 1.
+	if p.MedianOutDegree != 1 {
+		t.Fatalf("median %v, want 1", p.MedianOutDegree)
+	}
+}
+
+func TestProfileGiniUniformVsSkewed(t *testing.T) {
+	// Uniform out-degrees: Gini 0.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(2, 3, 0.5)
+	b.AddEdge(3, 0, 0.5)
+	uniform := b.MustBuild().Profile()
+	if math.Abs(uniform.GiniOutDegree) > 1e-12 {
+		t.Fatalf("uniform Gini %v, want 0", uniform.GiniOutDegree)
+	}
+	// One hub with every edge: maximal inequality for this n.
+	b2 := NewBuilder(5)
+	for v := NodeID(1); v < 5; v++ {
+		b2.AddEdge(0, v, 0.5)
+	}
+	skewed := b2.MustBuild().Profile()
+	if skewed.GiniOutDegree <= 0.5 {
+		t.Fatalf("hub Gini %v, want > 0.5", skewed.GiniOutDegree)
+	}
+}

@@ -1,0 +1,78 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"soi/internal/rng"
+)
+
+// TestReadSurvivesRandomCorruption flips random bits/bytes in a serialized
+// index and requires Read to either fail cleanly or return a structurally
+// valid index — never panic. (Semantic corruption that passes the structural
+// checks is out of scope: keep graph and index files paired.)
+func TestReadSurvivesRandomCorruption(t *testing.T) {
+	g := randomGraph(t, 111, 40, 160)
+	x, err := Build(g, Options{Samples: 4, Seed: 112, TransitiveReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	r := rng.New(113)
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), clean...)
+		// Corrupt 1-4 random bytes (skip the magic so we exercise the
+		// deeper validation, not just the header check).
+		for c := 0; c < 1+r.Intn(4); c++ {
+			pos := 8 + r.Intn(len(data)-8)
+			data[pos] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: Read panicked: %v", trial, p)
+				}
+			}()
+			idx, err := Read(bytes.NewReader(data), g)
+			if err != nil {
+				return // clean rejection
+			}
+			// If it loaded, queries must not crash either.
+			s := idx.NewScratch()
+			for i := 0; i < idx.NumWorlds(); i++ {
+				_ = idx.Cascade(0, i, s, nil)
+			}
+		}()
+	}
+}
+
+// TestReadSurvivesTruncation checks every truncation point fails cleanly.
+func TestReadSurvivesTruncation(t *testing.T) {
+	g := randomGraph(t, 114, 20, 60)
+	x, err := Build(g, Options{Samples: 2, Seed: 115})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for cut := 0; cut < len(clean); cut += 7 {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("cut %d: panic: %v", cut, p)
+				}
+			}()
+			if _, err := Read(bytes.NewReader(clean[:cut]), g); err == nil {
+				t.Fatalf("cut %d: truncated stream accepted", cut)
+			}
+		}()
+	}
+}

@@ -1,0 +1,172 @@
+package index
+
+import "soi/internal/graph"
+
+// Coverage tracks, for every indexed world, the set of components already
+// activated by a growing seed set. It is the state behind the greedy
+// influence-maximization loop: the marginal spread gain of a candidate seed
+// v is the number of not-yet-covered nodes its cascades would add, summed
+// over worlds.
+//
+// Coverage exploits a structural fact: the covered node set of a world is a
+// union of cascades, hence closed under condensation reachability. A
+// traversal computing a marginal gain can therefore prune at any covered
+// component — everything below it is covered too. This makes late greedy
+// iterations (where most of the graph is covered) nearly free.
+//
+// Coverage is not safe for concurrent mutation; gain queries from multiple
+// goroutines may share a Coverage only with distinct Scratches and no
+// concurrent Add.
+type Coverage struct {
+	x       *Index
+	covered [][]bool // per world, per component
+	total   int64    // covered node-slots across all worlds
+}
+
+// NewCoverage returns an empty coverage for the index.
+func (x *Index) NewCoverage() *Coverage {
+	c := &Coverage{x: x, covered: make([][]bool, len(x.entries))}
+	for i := range x.entries {
+		c.covered[i] = make([]bool, len(x.entries[i].dag))
+	}
+	return c
+}
+
+// Reset clears all coverage.
+func (c *Coverage) Reset() {
+	for i := range c.covered {
+		for j := range c.covered[i] {
+			c.covered[i][j] = false
+		}
+	}
+	c.total = 0
+}
+
+// MarginalGain returns the total number of uncovered nodes, summed over all
+// worlds, that adding v as a seed would newly cover. Divide by NumWorlds for
+// the marginal expected-spread estimate.
+func (c *Coverage) MarginalGain(v graph.NodeID, s *Scratch) int64 {
+	var gain int64
+	for i := range c.x.entries {
+		gain += int64(c.gainInWorld(v, i, s))
+	}
+	return gain
+}
+
+func (c *Coverage) gainInWorld(v graph.NodeID, i int, s *Scratch) int {
+	e := &c.x.entries[i]
+	cov := c.covered[i]
+	root := e.comp[v]
+	if cov[root] {
+		return 0
+	}
+	s.comps = s.comps[:0]
+	s.comps = append(s.comps, root)
+	s.mark[root] = true
+	gain := 0
+	for head := 0; head < len(s.comps); head++ {
+		cc := s.comps[head]
+		gain += int(e.memberOff[cc+1] - e.memberOff[cc])
+		for _, d := range e.dag[cc] {
+			if !s.mark[d] && !cov[d] {
+				s.mark[d] = true
+				s.comps = append(s.comps, d)
+			}
+		}
+	}
+	for _, cc := range s.comps {
+		s.mark[cc] = false
+	}
+	return gain
+}
+
+// MarginalGain2 returns, in one pass over the worlds, both the marginal
+// gain of v w.r.t. the current coverage and the marginal gain of v w.r.t.
+// the coverage plus w's cascades (gain(v | S) and gain(v | S ∪ {w})) —
+// the double evaluation CELF++ amortizes. Neither coverage nor w's state is
+// mutated. s and s2 must be distinct scratches.
+func (c *Coverage) MarginalGain2(v, w graph.NodeID, s, s2 *Scratch) (gainV, gainVAfterW int64) {
+	for i := range c.x.entries {
+		e := &c.x.entries[i]
+		cov := c.covered[i]
+		// Mark w's uncovered cascade components in s2 (closed under
+		// condensation reachability, so pruning at covered is sound).
+		s2.comps = s2.comps[:0]
+		wRoot := e.comp[w]
+		if !cov[wRoot] {
+			s2.comps = append(s2.comps, wRoot)
+			s2.mark[wRoot] = true
+			for head := 0; head < len(s2.comps); head++ {
+				for _, d := range e.dag[s2.comps[head]] {
+					if !s2.mark[d] && !cov[d] {
+						s2.mark[d] = true
+						s2.comps = append(s2.comps, d)
+					}
+				}
+			}
+		}
+		// Traverse v's uncovered cascade; comps also in s2.mark are covered
+		// in the S ∪ {w} scenario.
+		root := e.comp[v]
+		if !cov[root] {
+			s.comps = s.comps[:0]
+			s.comps = append(s.comps, root)
+			s.mark[root] = true
+			for head := 0; head < len(s.comps); head++ {
+				cc := s.comps[head]
+				size := int64(e.memberOff[cc+1] - e.memberOff[cc])
+				gainV += size
+				if !s2.mark[cc] {
+					gainVAfterW += size
+				}
+				for _, d := range e.dag[cc] {
+					if !s.mark[d] && !cov[d] {
+						s.mark[d] = true
+						s.comps = append(s.comps, d)
+					}
+				}
+			}
+			for _, cc := range s.comps {
+				s.mark[cc] = false
+			}
+		}
+		for _, cc := range s2.comps {
+			s2.mark[cc] = false
+		}
+	}
+	return gainV, gainVAfterW
+}
+
+// Add marks v's cascades as covered in every world and returns the realized
+// gain (identical to MarginalGain(v) immediately beforehand).
+func (c *Coverage) Add(v graph.NodeID, s *Scratch) int64 {
+	var gain int64
+	for i := range c.x.entries {
+		e := &c.x.entries[i]
+		cov := c.covered[i]
+		root := e.comp[v]
+		if cov[root] {
+			continue
+		}
+		s.comps = s.comps[:0]
+		s.comps = append(s.comps, root)
+		cov[root] = true
+		for head := 0; head < len(s.comps); head++ {
+			cc := s.comps[head]
+			gain += int64(e.memberOff[cc+1] - e.memberOff[cc])
+			for _, d := range e.dag[cc] {
+				if !cov[d] {
+					cov[d] = true
+					s.comps = append(s.comps, d)
+				}
+			}
+		}
+	}
+	c.total += gain
+	return gain
+}
+
+// CoveredNodeSlots returns the total covered node count summed over worlds;
+// divided by NumWorlds it is the current expected-spread estimate of the
+// seed set accumulated through Add.
+func (c *Coverage) CoveredNodeSlots() int64 { return c.total }

@@ -1,0 +1,36 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the index deserializer: it must never
+// panic or allocate unboundedly, and anything it accepts must answer
+// queries without crashing.
+func FuzzRead(f *testing.F) {
+	g := randomGraph(f, 141, 12, 40)
+	x, err := Build(g, Options{Samples: 2, Seed: 142})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SOIIDX01"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := Read(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		s := idx.NewScratch()
+		for i := 0; i < idx.NumWorlds(); i++ {
+			_ = idx.Cascade(0, i, s, nil)
+			_ = idx.CascadeSize(0, i, s)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+// Package index implements the cascade index of the paper (§4, Algorithm 1).
+//
+// The index stores, for each of ℓ sampled possible worlds G_1..G_ℓ:
+//
+//  1. the condensation of G_i's strongly connected components, optionally
+//     transitively reduced to save space, and
+//  2. for every vertex v, the identifier of v's component in G_i.
+//
+// Every vertex in an SCC has the same reachability set, so the cascade of v
+// in G_i is recovered by walking the condensation from v's component and
+// unioning the member lists of the reached components — time linear in the
+// output plus the condensation edges visited, independent of |E(G_i)|.
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"soi/internal/graph"
+	"soi/internal/rng"
+	"soi/internal/scc"
+	"soi/internal/worlds"
+)
+
+// Model selects the propagation model whose live-edge distribution the
+// index samples.
+type Model int
+
+const (
+	// IC is the Independent Cascade model: every edge survives
+	// independently with its probability.
+	IC Model = iota
+	// LT is the Linear Threshold model: every node keeps at most one
+	// incoming edge, chosen with probability equal to its weight (the
+	// Kempe et al. live-edge equivalence). Edge weights must satisfy the
+	// per-node budget Σ_in <= 1; Build validates this.
+	LT
+)
+
+// Options configures index construction.
+type Options struct {
+	// Samples is ℓ, the number of possible worlds to index. The paper's
+	// experiments use 1000; Theorem 2 shows O(log(1/α)/α²) suffices for a
+	// (1+O(α)) approximation.
+	Samples int
+	// Seed drives the deterministic sampling of worlds.
+	Seed uint64
+	// Workers bounds build parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// TransitiveReduction applies the Aho–Garey–Ullman reduction to each
+	// condensation (the paper's space optimization). Costs build time,
+	// saves index space and query edge traversals.
+	TransitiveReduction bool
+	// MaxExactReduction is the component threshold for the exact reduction
+	// (see scc.Reduce); 0 selects the default.
+	MaxExactReduction int
+	// Model selects IC (default) or LT live-edge sampling.
+	Model Model
+}
+
+// worldEntry is the per-world part of the index.
+type worldEntry struct {
+	comp      []int32 // node -> component id (reverse-topological numbering)
+	memberOff []int32 // CSR offsets: members of comp c
+	members   []int32
+	dag       scc.SliceGraph // (reduced) condensation
+}
+
+// Index is the cascade index. It is immutable after Build and safe for
+// concurrent queries, provided each goroutine uses its own Scratch.
+type Index struct {
+	g       *graph.Graph
+	entries []worldEntry
+}
+
+// Build samples opts.Samples possible worlds of g and indexes them.
+func Build(g *graph.Graph, opts Options) (*Index, error) {
+	if opts.Samples < 1 {
+		return nil, fmt.Errorf("index: Samples must be >= 1, got %d", opts.Samples)
+	}
+	if opts.Model == LT {
+		if err := worlds.ValidateLTWeights(g); err != nil {
+			return nil, err
+		}
+		// Warm the transpose once; SampleLT uses it and Reverse memoizes
+		// without synchronization.
+		g.Reverse()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Samples {
+		workers = opts.Samples
+	}
+
+	idx := &Index{g: g, entries: make([]worldEntry, opts.Samples)}
+	master := rng.New(opts.Seed)
+	// Pre-split generators so world i is reproducible regardless of the
+	// worker that processes it.
+	gens := make([]*rng.PCG32, opts.Samples)
+	for i := range gens {
+		gens[i] = master.Split(uint64(i))
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				idx.entries[i] = buildEntry(g, gens[i], opts)
+			}
+		}()
+	}
+	for i := 0; i < opts.Samples; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return idx, nil
+}
+
+func buildEntry(g *graph.Graph, r *rng.PCG32, opts Options) worldEntry {
+	var world *worlds.World
+	if opts.Model == LT {
+		world = worlds.SampleLT(g, r)
+	} else {
+		world = worlds.Sample(g, r)
+	}
+	dec := scc.Tarjan(world)
+	dag := scc.Condense(world, dec)
+	if opts.TransitiveReduction {
+		dag = scc.Reduce(dag, opts.MaxExactReduction)
+	}
+	// Rebuild the members CSR locally so the entry owns flat storage.
+	n := g.NumNodes()
+	off := make([]int32, dec.NumComps+1)
+	for _, c := range dec.Comp {
+		off[c+1]++
+	}
+	for c := 1; c <= dec.NumComps; c++ {
+		off[c] += off[c-1]
+	}
+	members := make([]int32, n)
+	cursor := make([]int32, dec.NumComps)
+	copy(cursor, off[:dec.NumComps])
+	for v := int32(0); int(v) < n; v++ {
+		c := dec.Comp[v]
+		members[cursor[c]] = v
+		cursor[c]++
+	}
+	return worldEntry{comp: dec.Comp, memberOff: off, members: members, dag: dag}
+}
+
+// NumWorlds returns ℓ.
+func (x *Index) NumWorlds() int { return len(x.entries) }
+
+// Graph returns the indexed probabilistic graph.
+func (x *Index) Graph() *graph.Graph { return x.g }
+
+// NumComponents returns the number of SCCs in world i.
+func (x *Index) NumComponents(i int) int { return len(x.entries[i].dag) }
+
+// CondensationEdges returns the number of condensation edges stored for
+// world i (after reduction, if enabled).
+func (x *Index) CondensationEdges(i int) int { return scc.NumEdges(x.entries[i].dag) }
+
+// Component returns the component identifier of node v in world i (the
+// matrix I[v,i] of the paper).
+func (x *Index) Component(v graph.NodeID, i int) int32 { return x.entries[i].comp[v] }
+
+// Scratch holds reusable per-goroutine buffers for queries.
+type Scratch struct {
+	mark  []bool
+	comps []int32
+}
+
+// NewScratch returns a Scratch sized for this index.
+func (x *Index) NewScratch() *Scratch {
+	maxComps := 0
+	for i := range x.entries {
+		if c := len(x.entries[i].dag); c > maxComps {
+			maxComps = c
+		}
+	}
+	return &Scratch{mark: make([]bool, maxComps)}
+}
+
+// Cascade returns the sorted cascade of v in world i, appended to out.
+func (x *Index) Cascade(v graph.NodeID, i int, s *Scratch, out []graph.NodeID) []graph.NodeID {
+	return x.CascadeFromSet([]graph.NodeID{v}, i, s, out)
+}
+
+// CascadeFromSet returns the sorted cascade of a seed set in world i (the
+// union of the members' cascades), appended to out.
+func (x *Index) CascadeFromSet(seeds []graph.NodeID, i int, s *Scratch, out []graph.NodeID) []graph.NodeID {
+	e := &x.entries[i]
+	s.comps = s.comps[:0]
+	for _, v := range seeds {
+		c := e.comp[v]
+		if !s.mark[c] {
+			s.mark[c] = true
+			s.comps = append(s.comps, c)
+		}
+	}
+	for head := 0; head < len(s.comps); head++ {
+		for _, d := range e.dag[s.comps[head]] {
+			if !s.mark[d] {
+				s.mark[d] = true
+				s.comps = append(s.comps, d)
+			}
+		}
+	}
+	start := len(out)
+	for _, c := range s.comps {
+		s.mark[c] = false
+		out = append(out, e.members[e.memberOff[c]:e.memberOff[c+1]]...)
+	}
+	sortIDs(out[start:])
+	return out
+}
+
+// CascadeSize returns |cascade of v in world i| without materializing it.
+func (x *Index) CascadeSize(v graph.NodeID, i int, s *Scratch) int {
+	return x.CascadeSizeFromSet([]graph.NodeID{v}, i, s)
+}
+
+// CascadeSizeFromSet returns the cascade size of a seed set in world i.
+func (x *Index) CascadeSizeFromSet(seeds []graph.NodeID, i int, s *Scratch) int {
+	e := &x.entries[i]
+	s.comps = s.comps[:0]
+	for _, v := range seeds {
+		c := e.comp[v]
+		if !s.mark[c] {
+			s.mark[c] = true
+			s.comps = append(s.comps, c)
+		}
+	}
+	total := 0
+	for head := 0; head < len(s.comps); head++ {
+		c := s.comps[head]
+		total += int(e.memberOff[c+1] - e.memberOff[c])
+		for _, d := range e.dag[c] {
+			if !s.mark[d] {
+				s.mark[d] = true
+				s.comps = append(s.comps, d)
+			}
+		}
+	}
+	for _, c := range s.comps {
+		s.mark[c] = false
+	}
+	return total
+}
+
+// VisitCascadeComps calls f(c, size) for every component in the cascade of
+// seeds in world i. It is the allocation-free primitive the influence-
+// maximization greedy uses for marginal-gain computations.
+func (x *Index) VisitCascadeComps(seeds []graph.NodeID, i int, s *Scratch, f func(c int32, size int32)) {
+	e := &x.entries[i]
+	s.comps = s.comps[:0]
+	for _, v := range seeds {
+		c := e.comp[v]
+		if !s.mark[c] {
+			s.mark[c] = true
+			s.comps = append(s.comps, c)
+		}
+	}
+	for head := 0; head < len(s.comps); head++ {
+		c := s.comps[head]
+		for _, d := range e.dag[c] {
+			if !s.mark[d] {
+				s.mark[d] = true
+				s.comps = append(s.comps, d)
+			}
+		}
+	}
+	for _, c := range s.comps {
+		s.mark[c] = false
+		f(c, e.memberOff[c+1]-e.memberOff[c])
+	}
+}
+
+// Cascades returns all ℓ cascades of v, each sorted. This is the per-node
+// sample collection handed to the Jaccard median (Algorithm 2).
+func (x *Index) Cascades(v graph.NodeID, s *Scratch) [][]graph.NodeID {
+	out := make([][]graph.NodeID, x.NumWorlds())
+	for i := range out {
+		out[i] = x.Cascade(v, i, s, nil)
+	}
+	return out
+}
+
+// CascadesFromSet returns all ℓ cascades of a seed set.
+func (x *Index) CascadesFromSet(seeds []graph.NodeID, s *Scratch) [][]graph.NodeID {
+	out := make([][]graph.NodeID, x.NumWorlds())
+	for i := range out {
+		out[i] = x.CascadeFromSet(seeds, i, s, nil)
+	}
+	return out
+}
+
+// MemoryFootprint returns an estimate of the index's resident bytes, used
+// by the space-ablation benchmarks.
+func (x *Index) MemoryFootprint() int64 {
+	var total int64
+	for i := range x.entries {
+		e := &x.entries[i]
+		total += int64(len(e.comp))*4 + int64(len(e.memberOff))*4 + int64(len(e.members))*4
+		total += int64(len(e.dag)) * 24 // slice headers
+		for _, s := range e.dag {
+			total += int64(len(s)) * 4
+		}
+	}
+	return total
+}
+
+func sortIDs(s []graph.NodeID) {
+	if len(s) <= 48 {
+		for i := 1; i < len(s); i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

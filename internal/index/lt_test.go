@@ -1,0 +1,101 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"soi/internal/graph"
+	"soi/internal/rng"
+	"soi/internal/worlds"
+)
+
+// wcGraph builds a random graph with weighted-cascade probabilities (always
+// a valid LT weighting).
+func wcGraph(t testing.TB, seed uint64, n, m int) *graph.Graph {
+	t.Helper()
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))
+		if u != v {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	g := b.MustBuild()
+	in := g.InDegrees()
+	wc, err := g.WithProbs(func(u, v graph.NodeID, old float64) float64 {
+		return 1 / float64(in[v])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wc
+}
+
+func TestLTIndexMatchesLTWorlds(t *testing.T) {
+	g := wcGraph(t, 61, 50, 200)
+	const ell = 10
+	x, err := Build(g, Options{Samples: ell, Seed: 62, Model: LT, TransitiveReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := worlds.SampleManyLT(g, 62, ell)
+	s := x.NewScratch()
+	visited := make([]bool, g.NumNodes())
+	for i := 0; i < ell; i++ {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			got := x.Cascade(v, i, s, nil)
+			want := ws[i].Reachable(v, visited, nil)
+			if len(got) != len(want) {
+				t.Fatalf("world %d node %d: %v vs %v", i, v, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("world %d node %d: %v vs %v", i, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLTIndexRejectsOverweight(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 2, 0.8)
+	b.AddEdge(1, 2, 0.8)
+	g := b.MustBuild()
+	if _, err := Build(g, Options{Samples: 5, Seed: 1, Model: LT}); err == nil {
+		t.Fatal("accepted overweight LT graph")
+	}
+	// The same graph is fine under IC.
+	if _, err := Build(g, Options{Samples: 5, Seed: 1}); err != nil {
+		t.Fatalf("IC rejected valid graph: %v", err)
+	}
+}
+
+// TestLTSpreadMatchesDirectSimulation: the index-based spread under LT must
+// agree with direct threshold simulation.
+func TestLTSpreadMatchesDirectSimulation(t *testing.T) {
+	g := wcGraph(t, 63, 40, 160)
+	x, err := Build(g, Options{Samples: 4000, Seed: 64, Model: LT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := x.NewScratch()
+	seeds := []graph.NodeID{0, 7}
+	viaIndex := 0
+	for i := 0; i < x.NumWorlds(); i++ {
+		viaIndex += x.CascadeSizeFromSet(seeds, i, s)
+	}
+	indexSpread := float64(viaIndex) / float64(x.NumWorlds())
+
+	const trials = 50000
+	r := rng.New(65)
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += len(worlds.SimulateLT(g, seeds, r))
+	}
+	directSpread := float64(sum) / trials
+	if math.Abs(indexSpread-directSpread) > 0.15+0.02*directSpread {
+		t.Fatalf("LT spread via index %v vs direct %v", indexSpread, directSpread)
+	}
+}

@@ -1,0 +1,197 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"soi/internal/graph"
+	"soi/internal/scc"
+)
+
+// Binary serialization of the cascade index. The paper's deployment story
+// is "precompute the spheres of influence and store them in an index"; the
+// format below lets the index be built once and memory-mapped-style reloaded
+// by query tools.
+//
+// Layout (little endian):
+//
+//	magic   [8]byte  "SOIIDX01"
+//	nodes   uint32
+//	worlds  uint32
+//	per world:
+//	  comps   uint32
+//	  comp    [nodes]int32        node -> component
+//	  per component: deg uint32, then deg int32 successor ids
+//
+// The members CSR is rebuilt from comp at load time (cheaper than storing).
+
+var magic = [8]byte{'S', 'O', 'I', 'I', 'D', 'X', '0', '1'}
+
+// WriteTo serializes the index.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(magic); err != nil {
+		return written, err
+	}
+	if err := put(uint32(x.g.NumNodes())); err != nil {
+		return written, err
+	}
+	if err := put(uint32(len(x.entries))); err != nil {
+		return written, err
+	}
+	for i := range x.entries {
+		e := &x.entries[i]
+		if err := put(uint32(len(e.dag))); err != nil {
+			return written, err
+		}
+		if err := put(e.comp); err != nil {
+			return written, err
+		}
+		for _, succs := range e.dag {
+			if err := put(uint32(len(succs))); err != nil {
+				return written, err
+			}
+			if len(succs) > 0 {
+				if err := put(succs); err != nil {
+					return written, err
+				}
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes an index previously written with WriteTo. The graph g
+// must be the same graph the index was built from (node count is checked;
+// deeper mismatches surface as wrong query results, so callers should keep
+// graph and index files paired).
+func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("index: read magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("index: bad magic %q", m[:])
+	}
+	var nodes, nWorlds uint32
+	if err := binary.Read(br, binary.LittleEndian, &nodes); err != nil {
+		return nil, err
+	}
+	if int(nodes) != g.NumNodes() {
+		return nil, fmt.Errorf("index: built for %d nodes, graph has %d", nodes, g.NumNodes())
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nWorlds); err != nil {
+		return nil, err
+	}
+	const maxWorlds = 1 << 24
+	if nWorlds == 0 || nWorlds > maxWorlds {
+		return nil, fmt.Errorf("index: implausible world count %d", nWorlds)
+	}
+	// Grow incrementally rather than trusting the header: a corrupted world
+	// count then fails on the first missing record instead of allocating
+	// gigabytes up front.
+	x := &Index{g: g, entries: make([]worldEntry, 0, min32u(nWorlds, 4096))}
+	for i := uint32(0); i < nWorlds; i++ {
+		var comps uint32
+		if err := binary.Read(br, binary.LittleEndian, &comps); err != nil {
+			return nil, err
+		}
+		if comps == 0 || comps > nodes {
+			return nil, fmt.Errorf("index: world %d has implausible component count %d", i, comps)
+		}
+		comp := make([]int32, nodes)
+		if err := binary.Read(br, binary.LittleEndian, comp); err != nil {
+			return nil, err
+		}
+		for v, c := range comp {
+			if c < 0 || uint32(c) >= comps {
+				return nil, fmt.Errorf("index: world %d: node %d has component %d out of range", i, v, c)
+			}
+		}
+		dag := make(scc.SliceGraph, comps)
+		for c := range dag {
+			var deg uint32
+			if err := binary.Read(br, binary.LittleEndian, &deg); err != nil {
+				return nil, err
+			}
+			if deg > comps {
+				return nil, fmt.Errorf("index: world %d: component %d degree %d out of range", i, c, deg)
+			}
+			if deg > 0 {
+				succs := make([]int32, deg)
+				if err := binary.Read(br, binary.LittleEndian, succs); err != nil {
+					return nil, err
+				}
+				for _, s := range succs {
+					if s < 0 || uint32(s) >= comps {
+						return nil, fmt.Errorf("index: world %d: successor %d out of range", i, s)
+					}
+				}
+				dag[c] = succs
+			}
+		}
+		x.entries = append(x.entries, rebuildEntry(comp, int(comps), dag))
+	}
+	return x, nil
+}
+
+func min32u(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func rebuildEntry(comp []int32, numComps int, dag scc.SliceGraph) worldEntry {
+	off := make([]int32, numComps+1)
+	for _, c := range comp {
+		off[c+1]++
+	}
+	for c := 1; c <= numComps; c++ {
+		off[c] += off[c-1]
+	}
+	members := make([]int32, len(comp))
+	cursor := make([]int32, numComps)
+	copy(cursor, off[:numComps])
+	for v := int32(0); int(v) < len(comp); v++ {
+		c := comp[v]
+		members[cursor[c]] = v
+		cursor[c]++
+	}
+	return worldEntry{comp: comp, memberOff: off, members: members, dag: dag}
+}
+
+// SaveFile writes the index to path.
+func (x *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := x.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index for graph g from path.
+func LoadFile(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, g)
+}

@@ -1,0 +1,152 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"soi/internal/graph"
+	"soi/internal/rng"
+)
+
+// Bottom-k reachability sketches (Cohen 1997; Cohen et al., CIKM 2014 use
+// them for sketch-based influence). For one indexed world, every node gets
+// the k smallest random ranks among the nodes it reaches. From the sketch:
+//
+//   - |reach(v)| is estimated as (k-1)/r_k (exact below k elements),
+//   - |reach(S)| for a seed set via sketch merging, and
+//   - the Jaccard similarity of two reachability sets via bottom-k
+//     coordination.
+//
+// Sketches are computed per world on demand (one pass over the condensation
+// in topological order), so no per-index memory is held for worlds that are
+// never sketched. They complement — not replace — exact extraction: use
+// them when many size/overlap queries hit the same world and the O(output)
+// cost of extraction dominates.
+
+// WorldSketch holds bottom-k sketches for every component of one world.
+type WorldSketch struct {
+	x     *Index
+	world int
+	k     int
+	// ranks[v] is node v's random rank; unique with probability 1.
+	ranks []float64
+	// sketches[c] is the ascending bottom-k rank list of comp c's
+	// reachable node set.
+	sketches [][]float64
+}
+
+// SketchWorld computes bottom-k sketches for world i. k must be >= 2.
+func (x *Index) SketchWorld(i, k int, seed uint64) (*WorldSketch, error) {
+	if i < 0 || i >= len(x.entries) {
+		return nil, fmt.Errorf("index: world %d out of range", i)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("index: sketch k must be >= 2, got %d", k)
+	}
+	e := &x.entries[i]
+	n := x.g.NumNodes()
+	ws := &WorldSketch{
+		x:        x,
+		world:    i,
+		k:        k,
+		ranks:    make([]float64, n),
+		sketches: make([][]float64, len(e.dag)),
+	}
+	base := rng.Mix64(seed ^ uint64(i)<<20)
+	for v := 0; v < n; v++ {
+		// A high-quality hash of (world-seed, node) in [0,1).
+		h := rng.Mix64(base ^ uint64(v)*0x9E3779B97F4A7C15)
+		ws.ranks[v] = float64(h>>11) / (1 << 53)
+	}
+	// Components in ascending id order are reverse-topological (sinks
+	// first), so successor sketches are ready when needed.
+	var merged []float64
+	for c := 0; c < len(e.dag); c++ {
+		merged = merged[:0]
+		for _, v := range e.members[e.memberOff[c]:e.memberOff[c+1]] {
+			merged = append(merged, ws.ranks[v])
+		}
+		for _, d := range e.dag[c] {
+			merged = append(merged, ws.sketches[d]...)
+		}
+		sort.Float64s(merged)
+		// Deduplicate (shared descendants appear via several successors).
+		out := merged[:0]
+		for j, r := range merged {
+			if j == 0 || r != merged[j-1] {
+				out = append(out, r)
+			}
+		}
+		if len(out) > k {
+			out = out[:k]
+		}
+		ws.sketches[c] = append([]float64(nil), out...)
+	}
+	return ws, nil
+}
+
+// K returns the sketch parameter.
+func (ws *WorldSketch) K() int { return ws.k }
+
+// sizeFromSketch is the classical bottom-k cardinality estimator.
+func (ws *WorldSketch) sizeFromSketch(s []float64) float64 {
+	if len(s) < ws.k {
+		return float64(len(s)) // sketch is the whole set: exact
+	}
+	return float64(ws.k-1) / s[ws.k-1]
+}
+
+// EstimateCascadeSize estimates |cascade of v| in this world.
+func (ws *WorldSketch) EstimateCascadeSize(v graph.NodeID) float64 {
+	return ws.sizeFromSketch(ws.sketches[ws.x.entries[ws.world].comp[v]])
+}
+
+// EstimateCascadeSizeFromSet estimates |cascade of a seed set| by merging
+// the members' sketches.
+func (ws *WorldSketch) EstimateCascadeSizeFromSet(seeds []graph.NodeID) float64 {
+	return ws.sizeFromSketch(ws.mergedSketch(seeds))
+}
+
+func (ws *WorldSketch) mergedSketch(seeds []graph.NodeID) []float64 {
+	e := &ws.x.entries[ws.world]
+	var merged []float64
+	for _, v := range seeds {
+		merged = append(merged, ws.sketches[e.comp[v]]...)
+	}
+	sort.Float64s(merged)
+	out := merged[:0]
+	for j, r := range merged {
+		if j == 0 || r != merged[j-1] {
+			out = append(out, r)
+		}
+	}
+	if len(out) > ws.k {
+		out = out[:ws.k]
+	}
+	return out
+}
+
+// EstimateJaccard estimates the Jaccard similarity of the cascades of u and
+// v in this world by bottom-k coordination: the fraction of the union's
+// bottom-k that appears in both sketches.
+func (ws *WorldSketch) EstimateJaccard(u, v graph.NodeID) float64 {
+	e := &ws.x.entries[ws.world]
+	su := ws.sketches[e.comp[u]]
+	sv := ws.sketches[e.comp[v]]
+	union := ws.mergedSketch([]graph.NodeID{u, v})
+	if len(union) == 0 {
+		return 1 // both cascades empty cannot happen (source included); safe default
+	}
+	both := 0
+	for _, r := range union {
+		if containsRank(su, r) && containsRank(sv, r) {
+			both++
+		}
+	}
+	return float64(both) / float64(len(union))
+}
+
+func containsRank(s []float64, r float64) bool {
+	i := sort.SearchFloat64s(s, r)
+	return i < len(s) && s[i] == r
+}

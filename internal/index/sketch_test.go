@@ -1,0 +1,170 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"soi/internal/graph"
+	"soi/internal/jaccard"
+)
+
+func TestSketchValidation(t *testing.T) {
+	g := randomGraph(t, 91, 30, 120)
+	x, err := Build(g, Options{Samples: 3, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.SketchWorld(-1, 8, 1); err == nil {
+		t.Error("accepted negative world")
+	}
+	if _, err := x.SketchWorld(3, 8, 1); err == nil {
+		t.Error("accepted out-of-range world")
+	}
+	if _, err := x.SketchWorld(0, 1, 1); err == nil {
+		t.Error("accepted k=1")
+	}
+}
+
+func TestSketchExactBelowK(t *testing.T) {
+	// With k larger than any cascade, the estimator is exact.
+	g := randomGraph(t, 93, 40, 120)
+	x, err := Build(g, Options{Samples: 5, Seed: 94})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := x.NewScratch()
+	for i := 0; i < x.NumWorlds(); i++ {
+		ws, err := x.SketchWorld(i, g.NumNodes()+1, 95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			got := ws.EstimateCascadeSize(v)
+			want := float64(x.CascadeSize(v, i, s))
+			if got != want {
+				t.Fatalf("world %d node %d: sketch %v, exact %v", i, v, got, want)
+			}
+		}
+	}
+}
+
+func TestSketchEstimateAccuracy(t *testing.T) {
+	// Dense supercritical world: estimates within ~3/sqrt(k) relative error
+	// for large cascades.
+	g := randomGraph(t, 96, 400, 3200)
+	gh, err := g.WithProbs(func(u, v graph.NodeID, old float64) float64 { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Build(gh, Options{Samples: 2, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 64
+	ws, err := x.SketchWorld(0, k, 98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := x.NewScratch()
+	tol := 3 / math.Sqrt(k)
+	for v := graph.NodeID(0); int(v) < 50; v++ {
+		exact := float64(x.CascadeSize(v, 0, s))
+		if exact < 4*k {
+			continue
+		}
+		est := ws.EstimateCascadeSize(v)
+		if rel := math.Abs(est-exact) / exact; rel > tol {
+			t.Fatalf("node %d: estimate %v vs exact %v (rel %v > %v)", v, est, exact, rel, tol)
+		}
+	}
+}
+
+func TestSketchSeedSetMonotone(t *testing.T) {
+	g := randomGraph(t, 99, 100, 500)
+	x, err := Build(g, Options{Samples: 2, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := x.SketchWorld(0, 16, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := ws.EstimateCascadeSizeFromSet([]graph.NodeID{3})
+	pair := ws.EstimateCascadeSizeFromSet([]graph.NodeID{3, 57})
+	if pair < single-1e-9 {
+		t.Fatalf("seed-set estimate decreased: %v -> %v", single, pair)
+	}
+}
+
+func TestSketchJaccardAgainstExact(t *testing.T) {
+	g := randomGraph(t, 102, 200, 1200)
+	gh, err := g.WithProbs(func(u, v graph.NodeID, old float64) float64 { return 0.4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Build(gh, Options{Samples: 1, Seed: 103})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 128
+	ws, err := x.SketchWorld(0, k, 104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := x.NewScratch()
+	checked := 0
+	for u := graph.NodeID(0); int(u) < 40 && checked < 20; u++ {
+		for v := u + 1; int(v) < 40 && checked < 20; v++ {
+			cu := x.Cascade(u, 0, s, nil)
+			cv := x.Cascade(v, 0, s, nil)
+			exact := 1 - jaccard.Distance(cu, cv)
+			est := ws.EstimateJaccard(u, v)
+			if math.Abs(est-exact) > 0.3 {
+				t.Fatalf("(%d,%d): sketch Jaccard %v vs exact %v", u, v, est, exact)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pairs checked")
+	}
+}
+
+func TestSketchSameComponentIdentical(t *testing.T) {
+	// Nodes in the same SCC share the sketch, hence identical estimates and
+	// Jaccard similarity 1.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	x, err := Build(g, Options{Samples: 1, Seed: 105})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := x.SketchWorld(0, 8, 106)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.EstimateJaccard(0, 1) != 1 {
+		t.Fatalf("same-SCC Jaccard %v, want 1", ws.EstimateJaccard(0, 1))
+	}
+	if ws.EstimateCascadeSize(0) != 4 {
+		t.Fatalf("size %v, want 4", ws.EstimateCascadeSize(0))
+	}
+}
+
+func BenchmarkSketchWorld(b *testing.B) {
+	g := randomGraph(b, 107, 2000, 10000)
+	x, err := Build(g, Options{Samples: 1, Seed: 108})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.SketchWorld(0, 32, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

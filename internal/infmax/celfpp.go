@@ -1,0 +1,119 @@
+package infmax
+
+import "container/heap"
+
+// CELF++ (Goyal, Lu & Lakshmanan, WWW 2011) — the implementation the paper
+// cites for InfMax_std ("we use the implementation provided by [18]").
+//
+// CELF++ extends CELF by computing, in the same pass that evaluates a
+// candidate u's marginal gain w.r.t. the current seed set S, also u's gain
+// w.r.t. S ∪ {prevBest}, where prevBest is the best candidate seen so far in
+// the current round. If prevBest is indeed selected, u's cached gain for the
+// next round is already exact and needs no re-evaluation. The generic
+// engine below abstracts the double evaluation behind gain2, which objective
+// adapters can implement with one traversal.
+
+// gain2Func evaluates a candidate's marginal gain w.r.t. the current seed
+// set, and (when prevBestValid) also w.r.t. the current set plus prevBest.
+type gain2Func func(v NodeIDT, prevBest NodeIDT, prevBestValid bool) (gain, gainAfterPrevBest float64)
+
+// NodeIDT aliases the node id type for this file's signatures.
+type NodeIDT = int32
+
+type cppItem struct {
+	node     NodeIDT
+	gain     float64 // marginal gain w.r.t. the seed set at round `round`
+	gainPB   float64 // marginal gain w.r.t. seed set + prevBest
+	prevBest NodeIDT // the prevBest gainPB was computed against
+	hasPB    bool
+	round    int
+}
+
+type cppQueue []cppItem
+
+func (q cppQueue) Len() int { return len(q) }
+func (q cppQueue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain
+	}
+	return q[i].node < q[j].node
+}
+func (q cppQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *cppQueue) Push(x interface{}) { *q = append(*q, x.(cppItem)) }
+func (q *cppQueue) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// celfPlusPlus runs the CELF++ lazy greedy over candidates 0..n-1.
+// commit applies a selection and returns the realized gain.
+func celfPlusPlus(n, k int, gain2 gain2Func, commit func(NodeIDT) float64) Selection {
+	if k > n {
+		k = n
+	}
+	sel := Selection{Seeds: make([]int32, 0, k), Gains: make([]float64, 0, k)}
+	q := make(cppQueue, 0, n)
+	for v := 0; v < n; v++ {
+		g, _ := gain2(NodeIDT(v), 0, false)
+		sel.LazyEvaluations++
+		q = append(q, cppItem{node: NodeIDT(v), gain: g, round: 0})
+	}
+	heap.Init(&q)
+
+	lastSeed := NodeIDT(-1)
+	// curBest tracks the candidate with the largest refreshed gain seen so
+	// far in the current round — CELF++'s prev_best. If that candidate ends
+	// up selected, every node evaluated against it this round needs no
+	// re-evaluation next round.
+	var curBest NodeIDT
+	var curBestGain float64
+	curBestValid := false
+	for round := 1; round <= k && len(q) > 0; {
+		top := heap.Pop(&q).(cppItem)
+		switch {
+		case top.round == round:
+			realized := commit(top.node)
+			sel.Seeds = append(sel.Seeds, top.node)
+			sel.Gains = append(sel.Gains, realized)
+			lastSeed = top.node
+			round++
+			curBestValid = false
+		case top.hasPB && top.prevBest == lastSeed && top.round == round-1:
+			// The CELF++ shortcut: the gain w.r.t. S∪{prevBest} computed
+			// last round is exactly the current gain — no re-evaluation.
+			top.gain = top.gainPB
+			top.hasPB = false
+			top.round = round
+			heap.Push(&q, top)
+			if !curBestValid || top.gain > curBestGain {
+				curBest, curBestGain, curBestValid = top.node, top.gain, true
+			}
+		default:
+			pb := curBest
+			pbValid := curBestValid && curBest != top.node
+			g, gpb := gain2(top.node, pb, pbValid)
+			sel.LazyEvaluations++
+			top.gain = g
+			top.gainPB = gpb
+			top.prevBest = pb
+			top.hasPB = pbValid
+			top.round = round
+			heap.Push(&q, top)
+			if !curBestValid || g > curBestGain {
+				curBest, curBestGain, curBestValid = top.node, g, true
+			}
+		}
+	}
+	return sel
+}
+
+// stdGain2 adapts the shared-worlds coverage objective to gain2: one pass
+// over the worlds computes both gains (the prevBest cascade is subtracted
+// per world without mutating the coverage).
+func stdGain2(cov *covAdapter) gain2Func {
+	return func(v NodeIDT, prevBest NodeIDT, pbValid bool) (float64, float64) {
+		return cov.gain2(v, prevBest, pbValid)
+	}
+}

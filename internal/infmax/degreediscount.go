@@ -1,0 +1,78 @@
+package infmax
+
+import (
+	"container/heap"
+	"fmt"
+
+	"soi/internal/graph"
+)
+
+// DegreeDiscount implements the DegreeDiscountIC heuristic of Chen, Wang &
+// Yang (KDD 2009) for uniform-probability IC: when a neighbor of v becomes a
+// seed, v's effective degree is discounted by
+//
+//	dd(v) = d(v) - 2·t(v) - (d(v) - t(v))·t(v)·p
+//
+// where d(v) is v's degree, t(v) the number of already-selected neighbors,
+// and p the (uniform) propagation probability. It is orders of magnitude
+// cheaper than greedy and a standard comparison point.
+//
+// The heuristic is designed for undirected graphs with a single p; on this
+// library's directed graphs d(v) is the out-degree, neighbor discounting
+// follows in-edges, and p should be the (roughly uniform) edge probability.
+func DegreeDiscount(g *graph.Graph, k int, p float64) (Selection, error) {
+	if err := validateK(k, g.NumNodes()); err != nil {
+		return Selection{}, err
+	}
+	if p <= 0 || p > 1 {
+		return Selection{}, fmt.Errorf("infmax: DegreeDiscount needs p in (0,1], got %v", p)
+	}
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	deg := make([]float64, n)
+	tsel := make([]float64, n) // selected in-neighbors
+	for v := 0; v < n; v++ {
+		deg[v] = float64(g.OutDegree(graph.NodeID(v)))
+	}
+	dd := func(v int) float64 {
+		return deg[v] - 2*tsel[v] - (deg[v]-tsel[v])*tsel[v]*p
+	}
+
+	q := make(celfQueue, 0, n)
+	for v := 0; v < n; v++ {
+		q = append(q, celfItem{node: graph.NodeID(v), gain: dd(v), round: 0})
+	}
+	heap.Init(&q)
+
+	chosen := make([]bool, n)
+	sel := Selection{Seeds: make([]graph.NodeID, 0, k), Gains: make([]float64, 0, k)}
+	for round := 1; round <= k && len(q) > 0; {
+		top := heap.Pop(&q).(celfItem)
+		if chosen[top.node] {
+			continue
+		}
+		if cur := dd(int(top.node)); cur < top.gain-1e-12 {
+			// Stale score: re-queue with the discounted value (lazy update,
+			// exactly like CELF — dd only decreases as seeds are added).
+			top.gain = cur
+			heap.Push(&q, top)
+			sel.LazyEvaluations++
+			continue
+		}
+		chosen[top.node] = true
+		sel.Seeds = append(sel.Seeds, top.node)
+		sel.Gains = append(sel.Gains, top.gain)
+		round++
+		// Discount the out-neighbors' scores via their in-edge from the
+		// new seed (on undirected/mutual graphs this is the classical rule).
+		nbrs, _ := g.Neighbors(top.node)
+		for _, w := range nbrs {
+			if !chosen[w] {
+				tsel[w]++
+			}
+		}
+	}
+	return sel, nil
+}

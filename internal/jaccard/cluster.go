@@ -1,0 +1,146 @@
+package jaccard
+
+import "sort"
+
+// Cascade clustering: k-medoids under Jaccard distance.
+//
+// The typical cascade is a single summary; when cascades are multi-modal
+// (e.g. supercritical contagion either dies immediately or takes over the
+// percolating core) one median blurs the modes together or collapses to the
+// dominant one. Clustering the sampled cascades separates the modes: each
+// cluster gets its own median, and cluster weights estimate mode
+// probabilities. This explains, for instance, why fixed-0.1 networks have
+// singleton typical cascades whenever the take-off probability is below 1/2.
+
+// Cluster is one cascade mode.
+type Cluster struct {
+	// Median is the Jaccard median of the member cascades.
+	Median Median
+	// Weight is the fraction of input sets assigned to this cluster.
+	Weight float64
+	// Members lists the indices of the assigned input sets.
+	Members []int
+}
+
+// ClusterCascades partitions sets into at most k clusters with Lloyd-style
+// k-medoids: assignment to the nearest cluster median under Jaccard
+// distance, then median recomputation per cluster (via Prefix), iterated to
+// convergence or maxIters (<= 0 selects 32). Initial medians are chosen by
+// a farthest-point sweep. Empty clusters are dropped, so fewer than k
+// clusters may return. The result is deterministic.
+func ClusterCascades(sets []Set, k, maxIters int) []Cluster {
+	if len(sets) == 0 || k < 1 {
+		return nil
+	}
+	if maxIters <= 0 {
+		maxIters = 32
+	}
+	if k > len(sets) {
+		k = len(sets)
+	}
+
+	// Farthest-point initialization, seeded with the set of median length
+	// (a deterministic, central-ish starting point).
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if len(sets[order[a]]) != len(sets[order[b]]) {
+			return len(sets[order[a]]) < len(sets[order[b]])
+		}
+		return order[a] < order[b]
+	})
+	centers := []Set{sets[order[len(order)/2]]}
+	minDist := make([]float64, len(sets))
+	for i := range sets {
+		minDist[i] = Distance(sets[i], centers[0])
+	}
+	for len(centers) < k {
+		far, farDist := -1, -1.0
+		for i := range sets {
+			if minDist[i] > farDist {
+				farDist = minDist[i]
+				far = i
+			}
+		}
+		if farDist <= 0 {
+			break // all remaining sets coincide with a center
+		}
+		centers = append(centers, sets[far])
+		for i := range sets {
+			if d := Distance(sets[i], sets[far]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, len(sets))
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, s := range sets {
+			best, bestD := 0, 2.0
+			for c, ctr := range centers {
+				if d := Distance(s, ctr); d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute medians.
+		groups := make([][]Set, len(centers))
+		for i, c := range assign {
+			groups[c] = append(groups[c], sets[i])
+		}
+		for c := range centers {
+			if len(groups[c]) > 0 {
+				centers[c] = Prefix(groups[c]).Set
+			}
+		}
+	}
+
+	// Materialize non-empty clusters.
+	groups := make([][]int, len(centers))
+	for i, c := range assign {
+		groups[c] = append(groups[c], i)
+	}
+	var out []Cluster
+	for c := range centers {
+		if len(groups[c]) == 0 {
+			continue
+		}
+		member := make([]Set, len(groups[c]))
+		for j, i := range groups[c] {
+			member[j] = sets[i]
+		}
+		out = append(out, Cluster{
+			Median:  Prefix(member),
+			Weight:  float64(len(groups[c])) / float64(len(sets)),
+			Members: groups[c],
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Weight > out[b].Weight })
+	return out
+}
+
+// WithinClusterCost returns the weighted mean distance of every set to its
+// cluster's median — the clustering analog of the typical-cascade cost.
+func WithinClusterCost(sets []Set, clusters []Cluster) float64 {
+	if len(sets) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, c := range clusters {
+		for _, i := range c.Members {
+			total += Distance(sets[i], c.Median.Set)
+		}
+	}
+	return total / float64(len(sets))
+}

@@ -1,0 +1,128 @@
+package jaccard
+
+import (
+	"math"
+	"testing"
+
+	"soi/internal/rng"
+)
+
+// bimodalSets builds two clearly separated cascade modes: small sets around
+// {0,1} and large sets around {100..119}.
+func bimodalSets(r *rng.PCG32, nSmall, nLarge int) []Set {
+	var out []Set
+	for i := 0; i < nSmall; i++ {
+		s := Set{0}
+		if r.Bernoulli(0.5) {
+			s = append(s, 1)
+		}
+		out = append(out, s)
+	}
+	for i := 0; i < nLarge; i++ {
+		var s Set
+		for e := int32(100); e < 120; e++ {
+			if r.Bernoulli(0.9) {
+				s = append(s, e)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestClusterSeparatesModes(t *testing.T) {
+	r := rng.New(1)
+	sets := bimodalSets(r, 60, 40)
+	clusters := ClusterCascades(sets, 2, 0)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	// Weights ~0.6/0.4 and sorted descending.
+	if math.Abs(clusters[0].Weight-0.6) > 0.05 || math.Abs(clusters[1].Weight-0.4) > 0.05 {
+		t.Fatalf("weights %v/%v, want ~0.6/0.4", clusters[0].Weight, clusters[1].Weight)
+	}
+	// The heavy cluster's median is small, the light one's is large.
+	if len(clusters[0].Median.Set) > 3 {
+		t.Fatalf("small-mode median %v", clusters[0].Median.Set)
+	}
+	if len(clusters[1].Median.Set) < 15 {
+		t.Fatalf("large-mode median %v", clusters[1].Median.Set)
+	}
+}
+
+func TestClusteringReducesCost(t *testing.T) {
+	r := rng.New(2)
+	sets := bimodalSets(r, 50, 50)
+	single := Prefix(sets)
+	clusters := ClusterCascades(sets, 2, 0)
+	within := WithinClusterCost(sets, clusters)
+	if within >= single.Cost {
+		t.Fatalf("clustering cost %v did not improve on single median %v", within, single.Cost)
+	}
+}
+
+func TestClusterDegenerateInputs(t *testing.T) {
+	if ClusterCascades(nil, 2, 0) != nil {
+		t.Error("nil input did not return nil")
+	}
+	if ClusterCascades([]Set{{1}}, 0, 0) != nil {
+		t.Error("k=0 did not return nil")
+	}
+	// Identical sets: one cluster regardless of k.
+	sets := []Set{{1, 2}, {1, 2}, {1, 2}}
+	clusters := ClusterCascades(sets, 3, 0)
+	if len(clusters) != 1 {
+		t.Fatalf("identical sets produced %d clusters", len(clusters))
+	}
+	if clusters[0].Weight != 1 || clusters[0].Median.Cost != 0 {
+		t.Fatalf("cluster %+v", clusters[0])
+	}
+}
+
+func TestClusterKLargerThanN(t *testing.T) {
+	sets := []Set{{1}, {2}}
+	clusters := ClusterCascades(sets, 10, 0)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	for _, c := range clusters {
+		if c.Median.Cost != 0 {
+			t.Fatalf("singleton cluster has cost %v", c.Median.Cost)
+		}
+	}
+}
+
+func TestClusterMembersPartition(t *testing.T) {
+	r := rng.New(3)
+	sets := randomSets(r, 40, 30, 10)
+	clusters := ClusterCascades(sets, 4, 0)
+	seen := make([]bool, len(sets))
+	for _, c := range clusters {
+		for _, i := range c.Members {
+			if seen[i] {
+				t.Fatalf("set %d in two clusters", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("set %d unassigned", i)
+		}
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	r := rng.New(4)
+	sets := randomSets(r, 50, 40, 12)
+	a := ClusterCascades(sets, 3, 0)
+	b := ClusterCascades(sets, 3, 0)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if a[i].Weight != b[i].Weight || len(a[i].Members) != len(b[i].Members) {
+			t.Fatal("nondeterministic clustering")
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package jaccard implements Jaccard distance over sorted integer sets and
+// the Jaccard-median algorithms the paper builds on (Chierichetti, Kumar,
+// Pandey & Vassilvitskii, SODA 2010).
+//
+// A set is a strictly increasing []int32. All cascades produced by this
+// library satisfy that representation, which makes the distance computations
+// simple linear merges.
+//
+// Three median algorithms are provided:
+//
+//   - Exact: exhaustive search over subsets of the union universe. Only
+//     feasible for tiny instances; used as ground truth in tests.
+//   - Prefix: the practical algorithm of [CKPV10] §3.2 — order elements by
+//     occurrence frequency and return the best frequency prefix. It achieves
+//     a 1+O(ε) factor (ε = optimal cost) in Õ(k + Σ|S_i|) time and is the
+//     algorithm the paper runs (§4).
+//   - Majority: keep every element appearing in at least half the sets; cost
+//     at most ε + O(ε^{3/2}) [CKPV10]. Used by the paper's argument that a
+//     seed set's typical cascade contains the members' typical cascades.
+package jaccard
+
+import "sort"
+
+// Set is a strictly increasing slice of element ids.
+type Set = []int32
+
+// Distance returns the Jaccard distance d_J(a,b) = 1 - |a∩b| / |a∪b|.
+// The distance of two empty sets is 0.
+func Distance(a, b Set) float64 {
+	inter := IntersectSize(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// IntersectSize returns |a ∩ b| for sorted sets.
+func IntersectSize(a, b Set) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// UnionSize returns |a ∪ b| for sorted sets.
+func UnionSize(a, b Set) int {
+	return len(a) + len(b) - IntersectSize(a, b)
+}
+
+// SymmDiffSize returns |a ⊕ b| for sorted sets.
+func SymmDiffSize(a, b Set) int {
+	return len(a) + len(b) - 2*IntersectSize(a, b)
+}
+
+// Union returns the sorted union of two sorted sets.
+func Union(a, b Set) Set {
+	out := make(Set, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Contains reports whether sorted set s contains v.
+func Contains(s Set, v int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// IsSorted reports whether s is a valid Set (strictly increasing).
+func IsSorted(s Set) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MeanDistance returns the average Jaccard distance from candidate to the
+// given sets (the empirical cost ρ̃ of the paper). It returns 0 for an empty
+// collection.
+func MeanDistance(candidate Set, sets []Set) float64 {
+	if len(sets) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range sets {
+		total += Distance(candidate, s)
+	}
+	return total / float64(len(sets))
+}
+
+// Median is the result of a median computation.
+type Median struct {
+	// Set is the selected median.
+	Set Set
+	// Cost is its average Jaccard distance to the input sets.
+	Cost float64
+}
+
+// Prefix computes the frequency-prefix Jaccard median of sets.
+//
+// Elements are sorted by decreasing occurrence count (ties by id for
+// determinism); the candidate medians are the m+1 prefixes of that order,
+// whose costs are evaluated incrementally in O(k) per prefix. Total time
+// O(Σ|S_i| + m·k + m log m) where m is the number of distinct elements and
+// k = len(sets).
+func Prefix(sets []Set) Median {
+	k := len(sets)
+	if k == 0 {
+		return Median{Set: nil, Cost: 0}
+	}
+
+	// Occurrence counts and the inverted index element -> containing sets.
+	counts := make(map[int32]int32)
+	for _, s := range sets {
+		for _, e := range s {
+			counts[e]++
+		}
+	}
+	m := len(counts)
+	if m == 0 {
+		// All sets empty: the empty median is exact.
+		return Median{Set: Set{}, Cost: 0}
+	}
+	elems := make([]int32, 0, m)
+	for e := range counts {
+		elems = append(elems, e)
+	}
+	sort.Slice(elems, func(i, j int) bool {
+		if counts[elems[i]] != counts[elems[j]] {
+			return counts[elems[i]] > counts[elems[j]]
+		}
+		return elems[i] < elems[j]
+	})
+	rank := make(map[int32]int32, m)
+	for i, e := range elems {
+		rank[e] = int32(i)
+	}
+	// occ[r] lists (by set index) the sets containing the rank-r element.
+	occ := make([][]int32, m)
+	for si, s := range sets {
+		for _, e := range s {
+			r := rank[e]
+			occ[r] = append(occ[r], int32(si))
+		}
+	}
+
+	inter := make([]int32, k) // |C ∩ S_i| for the current prefix C
+	sizes := make([]int32, k)
+	nonEmpty := 0
+	for i, s := range sets {
+		sizes[i] = int32(len(s))
+		if len(s) > 0 {
+			nonEmpty++
+		}
+	}
+
+	// Cost of the empty prefix: distance 1 to each non-empty set.
+	bestLen := 0
+	bestCost := float64(nonEmpty) / float64(k)
+
+	for pfx := 1; pfx <= m; pfx++ {
+		for _, si := range occ[pfx-1] {
+			inter[si]++
+		}
+		total := 0.0
+		cLen := int32(pfx)
+		for i := 0; i < k; i++ {
+			union := cLen + sizes[i] - inter[i]
+			// union >= cLen >= 1 here.
+			total += 1 - float64(inter[i])/float64(union)
+		}
+		cost := total / float64(k)
+		if cost < bestCost {
+			bestCost = cost
+			bestLen = pfx
+		}
+	}
+
+	med := make(Set, bestLen)
+	copy(med, elems[:bestLen])
+	sortInt32(med)
+	return Median{Set: med, Cost: bestCost}
+}
+
+// Majority returns the elements present in at least a fraction theta of the
+// sets (theta in (0,1]; the classical choice is 0.5), with its cost.
+func Majority(sets []Set, theta float64) Median {
+	k := len(sets)
+	if k == 0 {
+		return Median{Set: nil, Cost: 0}
+	}
+	counts := make(map[int32]int32)
+	for _, s := range sets {
+		for _, e := range s {
+			counts[e]++
+		}
+	}
+	need := int32(theta * float64(k))
+	if float64(need) < theta*float64(k) {
+		need++
+	}
+	if need < 1 {
+		need = 1
+	}
+	med := make(Set, 0)
+	for e, c := range counts {
+		if c >= need {
+			med = append(med, e)
+		}
+	}
+	sortInt32(med)
+	return Median{Set: med, Cost: MeanDistance(med, sets)}
+}
+
+// Exact exhaustively searches all subsets of the union universe and returns
+// a true optimal median. It panics if the universe exceeds 20 elements.
+// Among equal-cost optima it returns the one whose element mask is smallest,
+// making the result deterministic.
+func Exact(sets []Set) Median {
+	k := len(sets)
+	if k == 0 {
+		return Median{Set: nil, Cost: 0}
+	}
+	var universe Set
+	for _, s := range sets {
+		universe = Union(universe, s)
+	}
+	m := len(universe)
+	if m > 20 {
+		panic("jaccard: Exact universe too large")
+	}
+	// Precompute each input set as a bitmask over the universe.
+	pos := make(map[int32]uint, m)
+	for i, e := range universe {
+		pos[e] = uint(i)
+	}
+	masks := make([]uint32, k)
+	sizes := make([]int, k)
+	for i, s := range sets {
+		for _, e := range s {
+			masks[i] |= 1 << pos[e]
+		}
+		sizes[i] = len(s)
+	}
+	bestMask := uint32(0)
+	bestCost := 2.0
+	for cand := uint32(0); cand < 1<<uint(m); cand++ {
+		cLen := popcount(cand)
+		total := 0.0
+		for i := 0; i < k; i++ {
+			inter := popcount(cand & masks[i])
+			union := cLen + sizes[i] - inter
+			if union > 0 {
+				total += 1 - float64(inter)/float64(union)
+			}
+		}
+		cost := total / float64(k)
+		if cost < bestCost {
+			bestCost = cost
+			bestMask = cand
+		}
+	}
+	med := make(Set, 0, popcount(bestMask))
+	for i := 0; i < m; i++ {
+		if bestMask&(1<<uint(i)) != 0 {
+			med = append(med, universe[i])
+		}
+	}
+	return Median{Set: med, Cost: bestCost}
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

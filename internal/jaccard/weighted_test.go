@@ -1,0 +1,200 @@
+package jaccard
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"soi/internal/rng"
+)
+
+func unitWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestWeightedDistanceReducesToUnweighted(t *testing.T) {
+	r := rng.New(1)
+	w := unitWeights(40)
+	for trial := 0; trial < 200; trial++ {
+		sets := randomSets(r, 2, 40, 12)
+		a, b := sets[0], sets[1]
+		if got, want := WeightedDistance(a, b, w), Distance(a, b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: weighted %v vs unweighted %v", trial, got, want)
+		}
+	}
+}
+
+func TestWeightedDistanceBasics(t *testing.T) {
+	w := []float64{10, 1, 1}
+	// a = {0}, b = {1}: disjoint → 1.
+	if got := WeightedDistance(Set{0}, Set{1}, w); got != 1 {
+		t.Fatalf("disjoint distance %v", got)
+	}
+	// a = {0,1}, b = {0,2}: inter w=10, union w=12.
+	if got, want := WeightedDistance(Set{0, 1}, Set{0, 2}, w), 1-10.0/12; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Elements beyond the weight slice default to 1.
+	if got, want := WeightedDistance(Set{5}, Set{5, 6}, w), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("default-weight distance %v want %v", got, want)
+	}
+	// Zero-weight elements are invisible.
+	wz := []float64{0, 1}
+	if got := WeightedDistance(Set{0, 1}, Set{1}, wz); got != 0 {
+		t.Fatalf("zero-weight element affected distance: %v", got)
+	}
+}
+
+func TestQuickWeightedDistanceIsMetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		w := make([]float64, 12)
+		for i := range w {
+			w[i] = 0.1 + 5*r.Float64()
+		}
+		sets := randomSets(r, 3, 12, 8)
+		a, b, c := sets[0], sets[1], sets[2]
+		dab := WeightedDistance(a, b, w)
+		dbc := WeightedDistance(b, c, w)
+		dac := WeightedDistance(a, c, w)
+		const eps = 1e-12
+		if dab < 0 || dab > 1 || WeightedDistance(a, a, w) != 0 {
+			return false
+		}
+		return dac <= dab+dbc+eps && dab <= dac+dbc+eps && dbc <= dab+dac+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedPrefixReducesToUnweighted(t *testing.T) {
+	r := rng.New(3)
+	w := unitWeights(30)
+	for trial := 0; trial < 50; trial++ {
+		sets := randomSets(r, 9, 30, 10)
+		uw := Prefix(sets)
+		wt := WeightedPrefix(sets, w)
+		if math.Abs(uw.Cost-wt.Cost) > 1e-12 {
+			t.Fatalf("trial %d: unit-weight prefix cost %v vs unweighted %v",
+				trial, wt.Cost, uw.Cost)
+		}
+	}
+}
+
+func TestWeightedPrefixCostMatchesRecomputation(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 50; trial++ {
+		w := make([]float64, 25)
+		for i := range w {
+			w[i] = 0.2 + 3*r.Float64()
+		}
+		sets := randomSets(r, 8, 25, 9)
+		m := WeightedPrefix(sets, w)
+		if got := WeightedMeanDistance(m.Set, sets, w); math.Abs(got-m.Cost) > 1e-9 {
+			t.Fatalf("trial %d: reported %v recomputed %v", trial, m.Cost, got)
+		}
+	}
+}
+
+// TestWeightedMedianFlipInstance pins a concrete instance (found by
+// exhaustive search) where element weights change the exact optimal median:
+// with unit weights the optimum is {2,3,5}; making element 0 worth 20x
+// shifts it to {2,3,4,5}. The weighted prefix + refine pipeline must reach
+// the weighted optimum.
+//
+// (Note: for an element statistically independent of the rest, the
+// inclusion threshold is frequency 1/2 regardless of its weight — weights
+// only matter through interactions like this instance's.)
+func TestWeightedMedianFlipInstance(t *testing.T) {
+	sets := []Set{
+		{0, 5}, {1, 3, 5}, {0, 1, 2, 5}, {2, 3, 5}, {4, 5}, {2, 3, 4}, {2},
+	}
+	w := []float64{20, 1, 1, 1, 1, 1}
+
+	// Exact optima by enumeration over the 2^6 candidates.
+	exact := func(weights []float64) (Set, float64) {
+		best := 2.0
+		var bestSet Set
+		for mask := 0; mask < 1<<6; mask++ {
+			var cand Set
+			for e := 0; e < 6; e++ {
+				if mask&(1<<uint(e)) != 0 {
+					cand = append(cand, int32(e))
+				}
+			}
+			var c float64
+			if weights == nil {
+				c = MeanDistance(cand, sets)
+			} else {
+				c = WeightedMeanDistance(cand, sets, weights)
+			}
+			if c < best-1e-12 {
+				best = c
+				bestSet = cand
+			}
+		}
+		return bestSet, best
+	}
+	uwSet, _ := exact(nil)
+	wtSet, wtCost := exact(w)
+	if Contains(uwSet, 4) {
+		t.Fatalf("unweighted optimum unexpectedly contains 4: %v", uwSet)
+	}
+	if !Contains(wtSet, 4) {
+		t.Fatalf("weighted optimum should contain 4: %v", wtSet)
+	}
+	// The heuristic pipeline reaches the weighted optimum.
+	refined := WeightedRefine(sets, w, WeightedPrefix(sets, w).Set, 0)
+	if math.Abs(refined.Cost-wtCost) > 1e-9 {
+		t.Fatalf("refined weighted cost %v, exact optimum %v", refined.Cost, wtCost)
+	}
+}
+
+func TestWeightedRefineNeverWorsens(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 60; trial++ {
+		w := make([]float64, 20)
+		for i := range w {
+			w[i] = 0.2 + 4*r.Float64()
+		}
+		sets := randomSets(r, 7, 20, 8)
+		start := WeightedPrefix(sets, w)
+		refined := WeightedRefine(sets, w, start.Set, 0)
+		if refined.Cost > start.Cost+1e-12 {
+			t.Fatalf("trial %d: refine worsened %v -> %v", trial, start.Cost, refined.Cost)
+		}
+		if got := WeightedMeanDistance(refined.Set, sets, w); math.Abs(got-refined.Cost) > 1e-9 {
+			t.Fatalf("trial %d: cost mismatch", trial)
+		}
+		if !IsSorted(refined.Set) {
+			t.Fatalf("trial %d: unsorted %v", trial, refined.Set)
+		}
+	}
+}
+
+func TestWeightedRefineDropsZeroWeight(t *testing.T) {
+	sets := []Set{{1}, {1}}
+	w := []float64{1, 1, 0}
+	refined := WeightedRefine(sets, w, Set{1, 2}, 0)
+	if Contains(refined.Set, 2) {
+		t.Fatalf("zero-weight element kept: %v", refined.Set)
+	}
+	if refined.Cost != 0 {
+		t.Fatalf("cost %v", refined.Cost)
+	}
+}
+
+func TestWeightedEmptyCollections(t *testing.T) {
+	if m := WeightedPrefix(nil, nil); m.Cost != 0 || m.Set != nil {
+		t.Fatalf("WeightedPrefix(nil) = %+v", m)
+	}
+	m := WeightedPrefix([]Set{{}, {}}, nil)
+	if m.Cost != 0 || len(m.Set) != 0 {
+		t.Fatalf("WeightedPrefix(empties) = %+v", m)
+	}
+}

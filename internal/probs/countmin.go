@@ -1,0 +1,62 @@
+package probs
+
+import (
+	"fmt"
+
+	"soi/internal/rng"
+)
+
+// countMin is a count-min sketch over uint64 keys: a fixed-size array of
+// counters whose point queries overestimate true counts by at most εN with
+// probability 1-δ, for width = ⌈e/ε⌉ and depth = ⌈ln 1/δ⌉. It bounds the
+// memory of the streaming learner when the edge set is too large to count
+// exactly.
+type countMin struct {
+	width  int
+	depth  int
+	counts []uint32 // depth rows of width counters
+	salts  []uint64
+}
+
+func newCountMin(width, depth int, seed uint64) (*countMin, error) {
+	if width < 8 || depth < 1 || depth > 16 {
+		return nil, fmt.Errorf("probs: count-min needs width >= 8 and 1 <= depth <= 16, got %dx%d", width, depth)
+	}
+	cm := &countMin{
+		width:  width,
+		depth:  depth,
+		counts: make([]uint32, width*depth),
+		salts:  make([]uint64, depth),
+	}
+	for r := range cm.salts {
+		cm.salts[r] = rng.Mix64(seed ^ uint64(r)*0x9E3779B97F4A7C15)
+	}
+	return cm, nil
+}
+
+func (cm *countMin) cell(row int, key uint64) *uint32 {
+	h := rng.Mix64(key ^ cm.salts[row])
+	return &cm.counts[row*cm.width+int(h%uint64(cm.width))]
+}
+
+// Add increments key's count (conservative update: only the minimal cells
+// grow, halving the typical overestimate at no asymptotic cost).
+func (cm *countMin) Add(key uint64) {
+	est := cm.Estimate(key)
+	for r := 0; r < cm.depth; r++ {
+		if c := cm.cell(r, key); *c == est {
+			*c++
+		}
+	}
+}
+
+// Estimate returns the (over-)estimate of key's count.
+func (cm *countMin) Estimate(key uint64) uint32 {
+	min := ^uint32(0)
+	for r := 0; r < cm.depth; r++ {
+		if c := *cm.cell(r, key); c < min {
+			min = c
+		}
+	}
+	return min
+}

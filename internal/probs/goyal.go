@@ -1,0 +1,86 @@
+package probs
+
+import (
+	"fmt"
+
+	"soi/internal/graph"
+	"soi/internal/proplog"
+)
+
+// Goyal learns influence probabilities with the frequentist estimator of
+// Goyal, Bonchi & Lakshmanan (WSDM 2010), in its simplest ("static
+// Bernoulli") form used by the paper:
+//
+//	p(u,v) = A_{u→v} / A_u
+//
+// where A_u is the number of actions (items) u performed, and A_{u→v} is the
+// number of items where v performed the action strictly after u did, with
+// (u,v) a social edge. Edges for which the estimate is zero or undefined
+// (A_u = 0) are pruned from the returned graph — an unobserved influence
+// channel carries no learnt probability, mirroring how the paper's learnt
+// datasets only retain edges with evidence.
+//
+// MinProb floors the estimate to keep it inside (0,1]; the default 0 applies
+// no floor. Window, when positive, only credits propagation if the time gap
+// t_v - t_u is at most Window.
+type GoyalConfig struct {
+	MinProb float64
+	Window  int32
+}
+
+// Goyal learns probabilities over the topology of g from the log.
+func Goyal(g *graph.Graph, log *proplog.Log, cfg GoyalConfig) (*graph.Graph, error) {
+	if log.NumUsers() != g.NumNodes() {
+		return nil, fmt.Errorf("probs: log has %d users, graph has %d nodes", log.NumUsers(), g.NumNodes())
+	}
+	actions := make([]int32, g.NumNodes()) // A_u
+	prop := make(map[[2]graph.NodeID]int32)
+
+	times := make(map[graph.NodeID]int32)
+	for item := int32(0); item < int32(log.NumItems()); item++ {
+		events := log.ItemEvents(item)
+		if len(events) == 0 {
+			continue
+		}
+		for k := range times {
+			delete(times, k)
+		}
+		for _, e := range events {
+			times[e.User] = e.Time
+			actions[e.User]++
+		}
+		for _, e := range events {
+			u := e.User
+			nbrs, _ := g.Neighbors(u)
+			for _, v := range nbrs {
+				tv, ok := times[v]
+				if !ok || tv <= e.Time {
+					continue
+				}
+				if cfg.Window > 0 && tv-e.Time > cfg.Window {
+					continue
+				}
+				prop[[2]graph.NodeID{u, v}]++
+			}
+		}
+	}
+
+	b := graph.NewBuilder(g.NumNodes())
+	for _, e := range g.Edges() {
+		au := actions[e.From]
+		if au == 0 {
+			continue
+		}
+		p := float64(prop[[2]graph.NodeID{e.From, e.To}]) / float64(au)
+		if p < cfg.MinProb {
+			p = cfg.MinProb
+		}
+		if p > 1 {
+			p = 1
+		}
+		if p > 0 {
+			b.AddEdge(e.From, e.To, p)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,54 @@
+// Package probs assigns or learns the influence probability of every edge,
+// covering the four configurations of the paper's §6.2:
+//
+//	assigned:  weighted cascade (WC), fixed probability
+//	learnt:    Goyal et al. frequentist counting, Saito et al. EM
+//
+// plus the trivalency model and uniform-random assignment used for ground
+// truths. All functions return a new graph sharing topology with the input.
+package probs
+
+import (
+	"fmt"
+
+	"soi/internal/graph"
+	"soi/internal/rng"
+)
+
+// WeightedCascade assigns p(u,v) = 1/inDeg(v), the WC model of Chen et al.
+func WeightedCascade(g *graph.Graph) (*graph.Graph, error) {
+	in := g.InDegrees()
+	return g.WithProbs(func(u, v graph.NodeID, old float64) float64 {
+		return 1 / float64(in[v])
+	})
+}
+
+// Fixed assigns the same probability p to every edge (the paper uses 0.1).
+func Fixed(g *graph.Graph, p float64) (*graph.Graph, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("probs: fixed probability %v outside (0,1]", p)
+	}
+	return g.WithProbs(func(u, v graph.NodeID, old float64) float64 { return p })
+}
+
+// Trivalency assigns each edge a probability drawn uniformly from
+// {0.1, 0.01, 0.001}, the TRIVALENCY benchmark model.
+func Trivalency(g *graph.Graph, seed uint64) (*graph.Graph, error) {
+	vals := [3]float64{0.1, 0.01, 0.001}
+	r := rng.New(seed)
+	return g.WithProbs(func(u, v graph.NodeID, old float64) float64 {
+		return vals[r.Intn(3)]
+	})
+}
+
+// Uniform assigns each edge an independent probability uniform in [lo, hi].
+// Used to create ground truths for the synthetic propagation logs.
+func Uniform(g *graph.Graph, lo, hi float64, seed uint64) (*graph.Graph, error) {
+	if lo <= 0 || hi > 1 || lo > hi {
+		return nil, fmt.Errorf("probs: invalid uniform range [%v,%v]", lo, hi)
+	}
+	r := rng.New(seed)
+	return g.WithProbs(func(u, v graph.NodeID, old float64) float64 {
+		return lo + (hi-lo)*r.Float64()
+	})
+}

@@ -1,0 +1,202 @@
+package probs
+
+import (
+	"fmt"
+	"math"
+
+	"soi/internal/graph"
+	"soi/internal/proplog"
+)
+
+// SaitoConfig configures the EM learner.
+type SaitoConfig struct {
+	// MaxIter bounds EM iterations; 0 selects 100.
+	MaxIter int
+	// Tol stops iteration when no probability moves more than Tol;
+	// 0 selects 1e-6.
+	Tol float64
+	// InitProb is the starting value for every learnable edge; 0 selects 0.5.
+	InitProb float64
+	// MinProb floors learnt probabilities; edges ending below it are pruned.
+	// 0 selects 1e-4.
+	MinProb float64
+}
+
+func (c *SaitoConfig) defaults() {
+	if c.MaxIter == 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-6
+	}
+	if c.InitProb == 0 {
+		c.InitProb = 0.5
+	}
+	if c.MinProb == 0 {
+		c.MinProb = 1e-4
+	}
+}
+
+// Saito learns IC influence probabilities from discrete-time episodes with
+// the EM algorithm of Saito, Nakano & Kimura (KES 2008).
+//
+// For an episode s and a node v activated at step t+1, the candidate parents
+// are B_{s,v} = {u : (u,v) ∈ E, u activated at step t}; the episode is a
+// *positive* occurrence for each such edge. The episode is a *negative*
+// occurrence for (u,v) when u activated at some step t but v did not
+// activate at t+1 (either never, or later through another path) — u's single
+// influence attempt provably failed. The update is
+//
+//	p(u,v) ← (1/|M_{u,v}|) · Σ_{s ∈ M⁺_{u,v}} p(u,v) / P_{s,v}
+//
+// with P_{s,v} = 1 - Π_{w ∈ B_{s,v}} (1 - p(w,v)), M the multiset of all
+// occurrences and M⁺ the positive ones. Edges with no occurrences, or whose
+// learnt probability falls below MinProb, are pruned from the result.
+func Saito(g *graph.Graph, log *proplog.Log, cfg SaitoConfig) (*graph.Graph, error) {
+	if log.NumUsers() != g.NumNodes() {
+		return nil, fmt.Errorf("probs: log has %d users, graph has %d nodes", log.NumUsers(), g.NumNodes())
+	}
+	cfg.defaults()
+
+	// Edge ids follow the graph's global edge indexing.
+	nEdges := g.NumEdges()
+	occur := make([]int32, nEdges) // |M_{u,v}|: positives + negatives
+
+	// Positive occurrences grouped by (episode, child): parentGroups holds
+	// CSR-packed edge indices, one group per (s,v) activation with at least
+	// one candidate parent.
+	var groupOff []int32
+	var groupEdges []int32
+	groupOff = append(groupOff, 0)
+
+	times := make(map[graph.NodeID]int32)
+	rev := g.Reverse()
+	for item := int32(0); item < int32(log.NumItems()); item++ {
+		events := log.ItemEvents(item)
+		if len(events) == 0 {
+			continue
+		}
+		for k := range times {
+			delete(times, k)
+		}
+		for _, e := range events {
+			times[e.User] = e.Time
+		}
+		for _, e := range events {
+			u := e.User
+			lo, hi := g.EdgeRange(u)
+			for i := lo; i < hi; i++ {
+				v := g.EdgeTo(i)
+				tv, active := times[v]
+				switch {
+				case !active:
+					// v never activated: failed attempt.
+					occur[i]++
+				case tv == e.Time+1:
+					// Candidate success; group membership added below via
+					// the child-centric pass. Count the occurrence here.
+					occur[i]++
+				case tv > e.Time+1:
+					// v activated later through someone else: u's attempt
+					// failed.
+					occur[i]++
+				default:
+					// tv <= t_u: v was already active; no attempt happened.
+				}
+			}
+		}
+		// Child-centric pass: build parent groups for each activation.
+		for _, e := range events {
+			if e.Time == 0 {
+				continue // seeds have no parents
+			}
+			v := e.User
+			lo, hi := rev.EdgeRange(v)
+			added := false
+			for i := lo; i < hi; i++ {
+				u := rev.EdgeTo(i)
+				tu, active := times[u]
+				if active && tu == e.Time-1 {
+					// Find the forward edge index of (u,v).
+					fi := forwardEdgeIndex(g, u, v)
+					groupEdges = append(groupEdges, fi)
+					added = true
+				}
+			}
+			if added {
+				groupOff = append(groupOff, int32(len(groupEdges)))
+			}
+		}
+	}
+
+	// EM iterations.
+	p := make([]float64, nEdges)
+	for i := range p {
+		p[i] = cfg.InitProb
+	}
+	contrib := make([]float64, nEdges)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for i := range contrib {
+			contrib[i] = 0
+		}
+		for gi := 0; gi+1 < len(groupOff); gi++ {
+			edges := groupEdges[groupOff[gi]:groupOff[gi+1]]
+			prodFail := 1.0
+			for _, ei := range edges {
+				prodFail *= 1 - p[ei]
+			}
+			P := 1 - prodFail
+			if P <= 0 {
+				continue
+			}
+			for _, ei := range edges {
+				contrib[ei] += p[ei] / P
+			}
+		}
+		maxDelta := 0.0
+		for i := 0; i < nEdges; i++ {
+			if occur[i] == 0 {
+				continue
+			}
+			np := contrib[i] / float64(occur[i])
+			if np > 1 {
+				np = 1
+			}
+			if d := math.Abs(np - p[i]); d > maxDelta {
+				maxDelta = d
+			}
+			p[i] = np
+		}
+		if maxDelta < cfg.Tol {
+			break
+		}
+	}
+
+	b := graph.NewBuilder(g.NumNodes())
+	ei := int32(0)
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		lo, hi := g.EdgeRange(u)
+		for i := lo; i < hi; i++ {
+			if occur[ei] > 0 && p[ei] >= cfg.MinProb {
+				b.AddEdge(u, g.EdgeTo(i), p[ei])
+			}
+			ei++
+		}
+	}
+	return b.Build()
+}
+
+// forwardEdgeIndex locates the edge index of (u,v) in g via binary search
+// over u's sorted neighbor segment.
+func forwardEdgeIndex(g *graph.Graph, u, v graph.NodeID) int32 {
+	lo, hi := g.EdgeRange(u)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.EdgeTo(mid) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,151 @@
+package probs
+
+import (
+	"fmt"
+
+	"soi/internal/graph"
+	"soi/internal/proplog"
+)
+
+// StreamingGoyal is a single-pass, bounded-memory variant of the Goyal
+// frequentist learner, after the STRIP setting of Kutzkov et al. (KDD 2013):
+// actions arrive as a stream, the propagation counts A_{u→v} do not fit in
+// memory for very large networks, and are therefore kept in a count-min
+// sketch. Per-user action totals A_u (O(|V|) memory) stay exact, matching
+// STRIP's design.
+//
+// Semantics match Goyal with the same Window: p(u,v) =
+// Ã_{u→v} / A_u, where Ã is the sketched (slightly over-estimating) count.
+// With Width = 0 the sketch is replaced by an exact map and the result
+// equals the batch learner exactly — useful both as a correctness oracle
+// and for mid-size deployments.
+type StreamingGoyal struct {
+	g       *graph.Graph
+	cfg     StreamingGoyalConfig
+	actions []int32
+	sketch  *countMin
+	exact   map[uint64]int32
+	scratch map[graph.NodeID]int32
+}
+
+// StreamingGoyalConfig configures the streaming learner.
+type StreamingGoyalConfig struct {
+	// Window only credits propagation within this many time units;
+	// 0 means unbounded (any later action counts).
+	Window int32
+	// Width and Depth size the count-min sketch; Width 0 keeps exact
+	// counts in a map (unbounded memory, zero error).
+	Width, Depth int
+	// Seed salts the sketch hashes.
+	Seed uint64
+	// MinProb floors learnt probabilities, like GoyalConfig.MinProb.
+	MinProb float64
+}
+
+// NewStreamingGoyal creates a learner over the given social topology.
+func NewStreamingGoyal(g *graph.Graph, cfg StreamingGoyalConfig) (*StreamingGoyal, error) {
+	s := &StreamingGoyal{
+		g:       g,
+		cfg:     cfg,
+		actions: make([]int32, g.NumNodes()),
+		scratch: make(map[graph.NodeID]int32),
+	}
+	if cfg.Width > 0 {
+		depth := cfg.Depth
+		if depth == 0 {
+			depth = 4
+		}
+		cm, err := newCountMin(cfg.Width, depth, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.sketch = cm
+	} else {
+		s.exact = make(map[uint64]int32)
+	}
+	return s, nil
+}
+
+func pairKey(u, v graph.NodeID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+func (s *StreamingGoyal) bump(u, v graph.NodeID) {
+	if s.sketch != nil {
+		s.sketch.Add(pairKey(u, v))
+	} else {
+		s.exact[pairKey(u, v)]++
+	}
+}
+
+func (s *StreamingGoyal) count(u, v graph.NodeID) int32 {
+	if s.sketch != nil {
+		return int32(s.sketch.Estimate(pairKey(u, v)))
+	}
+	return s.exact[pairKey(u, v)]
+}
+
+// ObserveItem consumes one item's events (time-sorted, as stored in a
+// proplog.Log). Only O(item size) transient state is held.
+func (s *StreamingGoyal) ObserveItem(events []proplog.Event) error {
+	for k := range s.scratch {
+		delete(s.scratch, k)
+	}
+	for _, e := range events {
+		if e.User < 0 || int(e.User) >= s.g.NumNodes() {
+			return fmt.Errorf("probs: streaming event user %d out of range", e.User)
+		}
+		s.actions[e.User]++
+		s.scratch[e.User] = e.Time
+	}
+	for _, e := range events {
+		nbrs, _ := s.g.Neighbors(e.User)
+		for _, v := range nbrs {
+			tv, ok := s.scratch[v]
+			if !ok || tv <= e.Time {
+				continue
+			}
+			if s.cfg.Window > 0 && tv-e.Time > s.cfg.Window {
+				continue
+			}
+			s.bump(e.User, v)
+		}
+	}
+	return nil
+}
+
+// ObserveLog replays a whole log through the streaming path.
+func (s *StreamingGoyal) ObserveLog(log *proplog.Log) error {
+	if log.NumUsers() != s.g.NumNodes() {
+		return fmt.Errorf("probs: log has %d users, graph has %d nodes", log.NumUsers(), s.g.NumNodes())
+	}
+	for item := int32(0); item < int32(log.NumItems()); item++ {
+		if err := s.ObserveItem(log.ItemEvents(item)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finalize produces the learnt graph from the accumulated counts. The
+// learner can keep observing and be finalized again later.
+func (s *StreamingGoyal) Finalize() (*graph.Graph, error) {
+	b := graph.NewBuilder(s.g.NumNodes())
+	for _, e := range s.g.Edges() {
+		au := s.actions[e.From]
+		if au == 0 {
+			continue
+		}
+		p := float64(s.count(e.From, e.To)) / float64(au)
+		if p < s.cfg.MinProb {
+			p = s.cfg.MinProb
+		}
+		if p > 1 {
+			p = 1
+		}
+		if p > 0 {
+			b.AddEdge(e.From, e.To, p)
+		}
+	}
+	return b.Build()
+}

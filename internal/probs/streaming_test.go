@@ -1,0 +1,225 @@
+package probs
+
+import (
+	"math"
+	"testing"
+
+	"soi/internal/gen"
+	"soi/internal/proplog"
+	"soi/internal/rng"
+)
+
+func TestCountMinValidation(t *testing.T) {
+	if _, err := newCountMin(4, 4, 1); err == nil {
+		t.Error("accepted width 4")
+	}
+	if _, err := newCountMin(64, 0, 1); err == nil {
+		t.Error("accepted depth 0")
+	}
+	if _, err := newCountMin(64, 20, 1); err == nil {
+		t.Error("accepted depth 20")
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm, err := newCountMin(256, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	truth := map[uint64]uint32{}
+	for i := 0; i < 5000; i++ {
+		key := uint64(r.Intn(400))
+		truth[key]++
+		cm.Add(key)
+	}
+	for key, want := range truth {
+		if got := cm.Estimate(key); got < want {
+			t.Fatalf("key %d: estimate %d < true %d", key, got, want)
+		}
+	}
+}
+
+func TestCountMinAccuracyWideSketch(t *testing.T) {
+	// Width >> distinct keys: estimates are exact (conservative update).
+	cm, err := newCountMin(4096, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]uint32{}
+	r := rng.New(10)
+	for i := 0; i < 3000; i++ {
+		key := uint64(r.Intn(100))
+		truth[key]++
+		cm.Add(key)
+	}
+	over := 0
+	for key, want := range truth {
+		if cm.Estimate(key) > want {
+			over++
+		}
+	}
+	if over > 2 {
+		t.Fatalf("%d of %d keys overestimated with a wide sketch", over, len(truth))
+	}
+}
+
+func TestStreamingExactMatchesBatchGoyal(t *testing.T) {
+	topo := gen.MustGenerate(gen.Config{Model: "er", N: 50, M: 150, Seed: 11})
+	truth, err := Uniform(topo, 0.1, 0.4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := proplog.Generate(truth, proplog.GenerateConfig{Items: 500, SeedsPerItem: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int32{0, 3} {
+		batch, err := Goyal(topo, log, GoyalConfig{Window: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStreamingGoyal(topo, StreamingGoyalConfig{Window: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ObserveLog(log); err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := s.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.NumEdges() != streamed.NumEdges() {
+			t.Fatalf("window %d: edge counts differ: %d vs %d",
+				window, batch.NumEdges(), streamed.NumEdges())
+		}
+		for _, e := range batch.Edges() {
+			if got := streamed.Prob(e.From, e.To); math.Abs(got-e.Prob) > 1e-12 {
+				t.Fatalf("window %d: edge (%d,%d): batch %v, streamed %v",
+					window, e.From, e.To, e.Prob, got)
+			}
+		}
+	}
+}
+
+func TestStreamingSketchCloseToExact(t *testing.T) {
+	topo := gen.MustGenerate(gen.Config{Model: "er", N: 60, M: 240, Seed: 14})
+	truth, err := Uniform(topo, 0.1, 0.4, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := proplog.Generate(truth, proplog.GenerateConfig{Items: 800, SeedsPerItem: 2, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewStreamingGoyal(topo, StreamingGoyalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketched, err := NewStreamingGoyal(topo, StreamingGoyalConfig{Width: 1 << 14, Depth: 4, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exact.ObserveLog(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := sketched.ObserveLog(log); err != nil {
+		t.Fatal(err)
+	}
+	ge, err := exact.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := sketched.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sketch estimates can only exceed exact counts, and with a wide sketch
+	// the overshoot must be tiny.
+	var mae float64
+	n := 0
+	for _, e := range ge.Edges() {
+		got := gs.Prob(e.From, e.To)
+		if got < e.Prob-1e-12 {
+			t.Fatalf("edge (%d,%d): sketched %v below exact %v", e.From, e.To, got, e.Prob)
+		}
+		mae += got - e.Prob
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no edges learnt")
+	}
+	if mae/float64(n) > 0.02 {
+		t.Fatalf("mean sketch overshoot %v too large", mae/float64(n))
+	}
+}
+
+func TestStreamingRejectsBadInput(t *testing.T) {
+	topo := gen.MustGenerate(gen.Config{Model: "er", N: 10, M: 20, Seed: 18})
+	if _, err := NewStreamingGoyal(topo, StreamingGoyalConfig{Width: 4}); err == nil {
+		t.Error("accepted invalid sketch width")
+	}
+	s, err := NewStreamingGoyal(topo, StreamingGoyalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveItem([]proplog.Event{{User: 99, Item: 0, Time: 0}}); err == nil {
+		t.Error("accepted out-of-range user")
+	}
+	other, err := proplog.NewLog(5, []proplog.Event{{User: 0, Item: 0, Time: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveLog(other); err == nil {
+		t.Error("accepted mismatched log")
+	}
+}
+
+func TestStreamingIncrementalFinalize(t *testing.T) {
+	// Finalize mid-stream, keep observing, finalize again: probabilities
+	// must reflect all data seen so far each time.
+	topo := gen.MustGenerate(gen.Config{Model: "er", N: 30, M: 90, Seed: 19})
+	truth, err := Uniform(topo, 0.2, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := proplog.Generate(truth, proplog.GenerateConfig{Items: 400, SeedsPerItem: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamingGoyal(topo, StreamingGoyalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := int32(log.NumItems() / 2)
+	for item := int32(0); item < half; item++ {
+		if err := s.ObserveItem(log.ItemEvents(item)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid, err := s.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item := half; item < int32(log.NumItems()); item++ {
+		if err := s.ObserveItem(log.ItemEvents(item)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := s.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Goyal(topo, log, GoyalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumEdges() != batch.NumEdges() {
+		t.Fatalf("full stream %d edges, batch %d", full.NumEdges(), batch.NumEdges())
+	}
+	if mid.NumEdges() > full.NumEdges() {
+		t.Fatalf("mid-stream learnt more edges (%d) than the full stream (%d)",
+			mid.NumEdges(), full.NumEdges())
+	}
+}

@@ -1,0 +1,168 @@
+package proplog
+
+import (
+	"bytes"
+	"testing"
+
+	"soi/internal/graph"
+)
+
+func lineGraph(t testing.TB, n int, p float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), p)
+	}
+	return b.MustBuild()
+}
+
+func TestNewLogSortsAndDedups(t *testing.T) {
+	events := []Event{
+		{User: 2, Item: 1, Time: 5},
+		{User: 1, Item: 0, Time: 3},
+		{User: 1, Item: 0, Time: 7}, // duplicate (item 0, user 1): dropped
+		{User: 0, Item: 0, Time: 1},
+		{User: 0, Item: 1, Time: 0},
+	}
+	l, err := NewLog(3, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumUsers() != 3 || l.NumItems() != 2 {
+		t.Fatalf("users=%d items=%d", l.NumUsers(), l.NumItems())
+	}
+	if l.NumEvents() != 4 {
+		t.Fatalf("events=%d, want 4 after dedup", l.NumEvents())
+	}
+	it0 := l.ItemEvents(0)
+	if len(it0) != 2 || it0[0].User != 0 || it0[1].User != 1 || it0[1].Time != 3 {
+		t.Fatalf("item 0 events: %+v", it0)
+	}
+	it1 := l.ItemEvents(1)
+	if len(it1) != 2 || it1[0].Time > it1[1].Time {
+		t.Fatalf("item 1 events unsorted: %+v", it1)
+	}
+}
+
+func TestNewLogValidation(t *testing.T) {
+	cases := []Event{
+		{User: -1, Item: 0, Time: 0},
+		{User: 5, Item: 0, Time: 0},
+		{User: 0, Item: -1, Time: 0},
+		{User: 0, Item: 0, Time: -2},
+	}
+	for _, e := range cases {
+		if _, err := NewLog(3, []Event{e}); err == nil {
+			t.Errorf("accepted invalid event %+v", e)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := lineGraph(t, 10, 0.5)
+	cfg := GenerateConfig{Items: 20, SeedsPerItem: 1, Seed: 4}
+	a, err := Generate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEvents() != b.NumEvents() {
+		t.Fatalf("nondeterministic event count: %d vs %d", a.NumEvents(), b.NumEvents())
+	}
+	for i := int32(0); i < int32(a.NumItems()); i++ {
+		ea, eb := a.ItemEvents(i), b.ItemEvents(i)
+		if len(ea) != len(eb) {
+			t.Fatalf("item %d event count differs", i)
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("item %d event %d differs: %+v vs %+v", i, j, ea[j], eb[j])
+			}
+		}
+	}
+}
+
+func TestGenerateRespectsICStructure(t *testing.T) {
+	g := lineGraph(t, 8, 0.6)
+	l, err := Generate(g, GenerateConfig{Items: 100, SeedsPerItem: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item := int32(0); item < int32(l.NumItems()); item++ {
+		events := l.ItemEvents(item)
+		if len(events) == 0 {
+			t.Fatalf("item %d has no events (seed must appear)", item)
+		}
+		// On a line graph every activation at time t>0 must be the
+		// successor of an activation at time t-1.
+		timeOf := map[graph.NodeID]int32{}
+		for _, e := range events {
+			timeOf[e.User] = e.Time
+		}
+		for _, e := range events {
+			if e.Time == 0 {
+				continue
+			}
+			prev := e.User - 1
+			pt, ok := timeOf[prev]
+			if !ok || pt != e.Time-1 {
+				t.Fatalf("item %d: node %d active at %d without parent activation", item, e.User, e.Time)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedCount(t *testing.T) {
+	g := lineGraph(t, 20, 0.1)
+	l, err := Generate(g, GenerateConfig{Items: 50, SeedsPerItem: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item := int32(0); item < int32(l.NumItems()); item++ {
+		seeds := 0
+		for _, e := range l.ItemEvents(item) {
+			if e.Time == 0 {
+				seeds++
+			}
+		}
+		if seeds != 3 {
+			t.Fatalf("item %d has %d seeds, want 3", item, seeds)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := lineGraph(t, 5, 0.5)
+	for _, cfg := range []GenerateConfig{
+		{Items: 0, SeedsPerItem: 1},
+		{Items: 1, SeedsPerItem: 0},
+		{Items: 1, SeedsPerItem: 6},
+	} {
+		if _, err := Generate(g, cfg); err == nil {
+			t.Errorf("accepted config %+v", cfg)
+		}
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	g := lineGraph(t, 10, 0.5)
+	l, err := Generate(g, GenerateConfig{Items: 30, SeedsPerItem: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ReadTSV(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.NumEvents() != l.NumEvents() || l2.NumItems() != l.NumItems() {
+		t.Fatalf("round trip changed log: %d/%d vs %d/%d",
+			l2.NumEvents(), l2.NumItems(), l.NumEvents(), l.NumItems())
+	}
+}

@@ -1,0 +1,114 @@
+// Package reliability implements classical reliability queries over
+// probabilistic graphs: s–t reliability (the probability that t is reachable
+// from s in a random possible world — #P-hard exactly, Valiant 1979) and
+// reliability search (all nodes reachable from a source set with probability
+// at least a threshold, Khan et al., EDBT 2014).
+//
+// These are the related queries of the paper's §7 and the machinery behind
+// the Theorem-1 reduction, which this library exercises numerically in its
+// test suite.
+package reliability
+
+import (
+	"fmt"
+
+	"soi/internal/graph"
+	"soi/internal/rng"
+	"soi/internal/worlds"
+)
+
+// ST estimates rel(g, s, t): the probability that t is reachable from s.
+// It samples `samples` lazy cascades from s.
+func ST(g *graph.Graph, s, t graph.NodeID, samples int, seed uint64) (float64, error) {
+	probs, err := FromSource(g, []graph.NodeID{s}, samples, seed)
+	if err != nil {
+		return 0, err
+	}
+	return probs[t], nil
+}
+
+// FromSource estimates, for every node v, the probability that v is
+// reachable from the source set. The result is indexed by node id.
+func FromSource(g *graph.Graph, sources []graph.NodeID, samples int, seed uint64) ([]float64, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("reliability: samples must be >= 1, got %d", samples)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("reliability: empty source set")
+	}
+	for _, s := range sources {
+		if s < 0 || int(s) >= g.NumNodes() {
+			return nil, fmt.Errorf("reliability: source %d out of range", s)
+		}
+	}
+	counts := make([]int, g.NumNodes())
+	visited := make([]bool, g.NumNodes())
+	master := rng.New(seed)
+	var buf []graph.NodeID
+	for i := 0; i < samples; i++ {
+		buf = worlds.SampleCascadeFromSet(g, sources, master.Split(uint64(i)), visited, buf[:0])
+		for _, v := range buf {
+			counts[v]++
+		}
+	}
+	probs := make([]float64, g.NumNodes())
+	for v := range probs {
+		probs[v] = float64(counts[v]) / float64(samples)
+	}
+	return probs, nil
+}
+
+// Search returns the nodes reachable from the source set with estimated
+// probability >= threshold, sorted by id (the reliability-search query).
+func Search(g *graph.Graph, sources []graph.NodeID, threshold float64, samples int, seed uint64) ([]graph.NodeID, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("reliability: threshold %v outside (0,1]", threshold)
+	}
+	probs, err := FromSource(g, sources, samples, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []graph.NodeID
+	for v, p := range probs {
+		if p >= threshold {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out, nil
+}
+
+// AugmentForReduction builds the graph G' of the paper's Theorem-1 proof:
+// a copy of g with an additional arc of probability 1 from t to every other
+// node. Computing the expected costs ρ_{G',s}(V) and ρ_{G',s}(V \ {t})
+// recovers rel(g, s, t); see RelFromCosts.
+func AugmentForReduction(g *graph.Graph, t graph.NodeID) (*graph.Graph, error) {
+	if t < 0 || int(t) >= g.NumNodes() {
+		return nil, fmt.Errorf("reliability: t=%d out of range", t)
+	}
+	b := graph.NewBuilder(g.NumNodes())
+	for _, e := range g.Edges() {
+		b.AddEdge(e.From, e.To, e.Prob)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if v != t {
+			b.AddEdge(t, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+// RelFromCosts inverts the Theorem-1 identity: given n = |V| and the
+// expected costs ρ(H1), ρ(H2) for H1 = V and H2 = V \ {t} measured on the
+// augmented graph, it returns rel(g, s, t):
+//
+//	rel = (1 - n·ρ(H1) + (n-1)·ρ(H2)) / (2 - 1/n)
+//
+// Note: the paper's printed formula carries an extra -1/n in the numerator;
+// re-deriving from its own intermediate identity
+// n·ρ(H1) - (n-1)·ρ(H2) = q·(2 - 1/n) - 1 + 1/n (with q the unreliability)
+// gives the expression above, which the numerical cross-check in this
+// package's tests confirms.
+func RelFromCosts(n int, rhoH1, rhoH2 float64) float64 {
+	fn := float64(n)
+	return (1 - fn*rhoH1 + (fn-1)*rhoH2) / (2 - 1/fn)
+}

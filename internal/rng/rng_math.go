@@ -1,0 +1,7 @@
+package rng
+
+import "math"
+
+func log1p(x float64) float64 { return math.Log1p(x) }
+
+func logf(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,281 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("step %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Regression pin: first outputs for seed 1234567. These values freeze
+	// the stream so that any accidental change to the constants or mixing
+	// steps is caught (every sampled experiment depends on this stream).
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ED017FB08FC85, 0x2C73F08458540FA5, 0x883EBCE5A3F27C77,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("value %d: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64Distinct(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestPCGDeterministicAcrossInstances(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint32(), b.Uint32(); x != y {
+			t.Fatalf("step %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestPCGStreamsDiffer(t *testing.T) {
+	a := NewStream(7, 1)
+	b := NewStream(7, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("streams 1 and 2 agree on %d/1000 outputs; expected ~0", same)
+	}
+}
+
+func TestSplitIndependentOfOrder(t *testing.T) {
+	p := New(5)
+	c3 := p.Split(3)
+	c1 := p.Split(1)
+	q := New(5)
+	d1 := q.Split(1)
+	d3 := q.Split(3)
+	for i := 0; i < 100; i++ {
+		if c1.Uint32() != d1.Uint32() {
+			t.Fatal("Split(1) depends on split order")
+		}
+		if c3.Uint32() != d3.Uint32() {
+			t.Fatal("Split(3) depends on split order")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(1)
+	for i := 0; i < 100000; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	p := New(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += p.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	p := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := p.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	p := New(4)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[p.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d: count %d, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulli(t *testing.T) {
+	p := New(5)
+	if p.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !p.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if p.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(6)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		perm := p.Perm(n)
+		if len(perm) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(perm))
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	p := New(7)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	p.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed elements: %v", s)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	p := New(8)
+	const prob, trials = 0.25, 100000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += float64(p.Geometric(prob))
+	}
+	mean := sum / trials
+	want := (1 - prob) / prob // mean of Geometric on {0,1,...}
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean = %v, want ~%v", prob, mean, want)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	p := New(9)
+	for i := 0; i < 100; i++ {
+		if g := p.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d", g)
+		}
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	p := New(10)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		e := p.Exp()
+		if e < 0 {
+			t.Fatalf("Exp() negative: %v", e)
+		}
+		sum += e
+	}
+	if mean := sum / trials; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	p := New(11)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := p.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := New(seed)
+		v := p.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPCGUint32(b *testing.B) {
+	p := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = p.Uint32()
+	}
+}
+
+func BenchmarkPCGFloat64(b *testing.B) {
+	p := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = p.Float64()
+	}
+}
+
+func BenchmarkPCGBernoulli(b *testing.B) {
+	p := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = p.Bernoulli(0.1)
+	}
+}

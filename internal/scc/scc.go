@@ -1,0 +1,234 @@
+// Package scc provides strongly-connected-component machinery over sampled
+// possible worlds: an iterative Tarjan decomposition, condensation into a
+// DAG, Aho–Garey–Ullman transitive reduction, and reachability over the
+// condensation.
+//
+// This is the substrate for the cascade index of the paper (§4): every
+// vertex in the same SCC of a possible world has the same reachability set,
+// so a world is represented by its condensation plus a node→component map.
+package scc
+
+// Subgraph is the adjacency view the algorithms operate on. Sampled possible
+// worlds implement it without materializing edge lists per node.
+type Subgraph interface {
+	// NumNodes returns the node count N; nodes are 0..N-1.
+	NumNodes() int
+	// VisitSuccessors calls f for every direct successor of u.
+	VisitSuccessors(u int32, f func(v int32))
+}
+
+// SliceGraph is a Subgraph backed by explicit adjacency slices, convenient
+// for tests and for condensations.
+type SliceGraph [][]int32
+
+// NumNodes implements Subgraph.
+func (g SliceGraph) NumNodes() int { return len(g) }
+
+// VisitSuccessors implements Subgraph.
+func (g SliceGraph) VisitSuccessors(u int32, f func(v int32)) {
+	for _, v := range g[u] {
+		f(v)
+	}
+}
+
+// Decomposition is the SCC structure of a Subgraph.
+type Decomposition struct {
+	// Comp[v] is the component id of node v. Component ids are dense in
+	// [0, NumComps) and in reverse topological order of the condensation:
+	// if there is an edge comp(u) -> comp(v) with comp(u) != comp(v), then
+	// Comp[u] > Comp[v]. (This is the order Tarjan emits components in.)
+	Comp []int32
+	// NumComps is the number of components.
+	NumComps int
+	// Members lists, for each component, its member nodes (CSR layout).
+	memberOff []int32
+	members   []int32
+}
+
+// Members returns the nodes in component c. The slice aliases internal
+// storage and must not be modified.
+func (d *Decomposition) Members(c int32) []int32 {
+	return d.members[d.memberOff[c]:d.memberOff[c+1]]
+}
+
+// Size returns the number of nodes in component c.
+func (d *Decomposition) Size(c int32) int {
+	return int(d.memberOff[c+1] - d.memberOff[c])
+}
+
+// Tarjan computes the SCC decomposition of g using an iterative version of
+// Tarjan's algorithm (no recursion, safe for million-node graphs).
+func Tarjan(g Subgraph) *Decomposition {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+
+	var stack []int32 // Tarjan's node stack
+	var next int32    // next DFS index
+	var nComps int32
+
+	// Explicit DFS state: the frame records the node and an iterator over
+	// its successors. Because Subgraph only exposes a visitor, we snapshot
+	// successor lists per frame lazily into a reusable buffer.
+	type frame struct {
+		v     int32
+		succs []int32
+		i     int
+	}
+	var frames []frame
+	succsOf := func(v int32) []int32 {
+		var out []int32
+		g.VisitSuccessors(v, func(w int32) { out = append(out, w) })
+		return out
+	}
+
+	for root := int32(0); int(root) < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root, succs: succsOf(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succs: succsOf(w)})
+					advanced = true
+					break
+				}
+				if onStack[w] && low[f.v] > index[w] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-order: pop the frame, maybe emit a component.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[parent] > low[v] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComps
+					if w == v {
+						break
+					}
+				}
+				nComps++
+			}
+		}
+	}
+
+	d := &Decomposition{Comp: comp, NumComps: int(nComps)}
+	d.buildMembers(n)
+	return d
+}
+
+func (d *Decomposition) buildMembers(n int) {
+	d.memberOff = make([]int32, d.NumComps+1)
+	for _, c := range d.Comp {
+		d.memberOff[c+1]++
+	}
+	for c := 1; c <= d.NumComps; c++ {
+		d.memberOff[c] += d.memberOff[c-1]
+	}
+	d.members = make([]int32, n)
+	cursor := make([]int32, d.NumComps)
+	copy(cursor, d.memberOff[:d.NumComps])
+	for v := int32(0); int(v) < n; v++ {
+		c := d.Comp[v]
+		d.members[cursor[c]] = v
+		cursor[c]++
+	}
+}
+
+// Condense builds the condensation DAG of g under decomposition d: one node
+// per component, an edge c1 -> c2 for every pair of components connected by
+// at least one original edge (deduplicated, no self-loops). Component ids
+// are those of d, so the DAG nodes are in reverse topological order.
+func Condense(g Subgraph, d *Decomposition) SliceGraph {
+	n := g.NumNodes()
+	dag := make(SliceGraph, d.NumComps)
+	// lastSeen deduplicates edges per source component within one pass.
+	lastSeen := make([]int32, d.NumComps)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	// Iterate components so that dedup state is valid per component.
+	for c := int32(0); int(c) < d.NumComps; c++ {
+		for _, v := range d.Members(c) {
+			g.VisitSuccessors(v, func(w int32) {
+				cw := d.Comp[w]
+				if cw == c || lastSeen[cw] == c {
+					return
+				}
+				lastSeen[cw] = c
+				dag[c] = append(dag[c], cw)
+			})
+		}
+	}
+	_ = n
+	return dag
+}
+
+// TopoOrder returns the components of a condensation in topological order
+// (sources first). Given Tarjan's reverse-topological component numbering,
+// this is simply NumComps-1 .. 0.
+func TopoOrder(numComps int) []int32 {
+	order := make([]int32, numComps)
+	for i := range order {
+		order[i] = int32(numComps - 1 - i)
+	}
+	return order
+}
+
+// ReachableComps returns all components reachable in the condensation dag
+// from component c, including c itself. The mark slice must have length
+// len(dag) and be all false; it is reset before returning. Results append
+// to out.
+func ReachableComps(dag SliceGraph, c int32, mark []bool, out []int32) []int32 {
+	start := len(out)
+	out = append(out, c)
+	mark[c] = true
+	for head := start; head < len(out); head++ {
+		u := out[head]
+		for _, v := range dag[u] {
+			if !mark[v] {
+				mark[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	for _, v := range out[start:] {
+		mark[v] = false
+	}
+	return out
+}

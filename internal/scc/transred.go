@@ -1,0 +1,140 @@
+package scc
+
+// Transitive reduction of a condensation DAG (Aho, Garey & Ullman 1972).
+//
+// The exact algorithm materializes a descendant bitset per component, which
+// costs numComps^2 bits. That is cheap for the dense worlds where reduction
+// pays off (few, large components) and prohibitive for sparse worlds where
+// most components are singletons and there is little to reduce anyway. The
+// paper notes the classical algorithm "proved adequate in practice"; we make
+// the trade-off explicit: below maxExact components the exact reduction is
+// used, above it a sound partial reduction that removes only edges whose
+// redundancy is witnessed within two hops. Both preserve reachability
+// exactly; only minimality differs. DESIGN.md records this substitution.
+
+// DefaultMaxExactReduction is the component-count threshold below which the
+// exact quadratic-space reduction is applied.
+const DefaultMaxExactReduction = 4096
+
+// Reduce returns the transitive reduction of dag (exact when
+// len(dag) <= maxExact, otherwise a sound partial reduction). dag must be a
+// DAG whose edges go from higher to lower component id, as produced by
+// Condense. The input is not modified. maxExact <= 0 selects
+// DefaultMaxExactReduction.
+func Reduce(dag SliceGraph, maxExact int) SliceGraph {
+	if maxExact <= 0 {
+		maxExact = DefaultMaxExactReduction
+	}
+	if len(dag) <= maxExact {
+		return reduceExact(dag)
+	}
+	return reduceTwoHop(dag)
+}
+
+// reduceExact implements AGU with descendant bitsets. Components are
+// processed in increasing id order; since every edge points to a smaller id
+// this is sinks-first, so descendant sets of successors are ready when
+// needed.
+func reduceExact(dag SliceGraph) SliceGraph {
+	n := len(dag)
+	desc := make([]bitset, n)
+	out := make(SliceGraph, n)
+	reach := newBitset(n)
+	for u := 0; u < n; u++ {
+		succs := append([]int32(nil), dag[u]...)
+		// Topological order among successors: decreasing id (closest to u
+		// in topo order first). A successor already reachable through a
+		// previously kept successor is redundant.
+		sortDescending(succs)
+		reach.clear()
+		var kept []int32
+		for _, v := range succs {
+			if reach.get(int(v)) {
+				continue
+			}
+			kept = append(kept, v)
+			reach.or(desc[v])
+			reach.set(int(v))
+		}
+		out[u] = kept
+		d := newBitset(n)
+		d.orFrom(reach)
+		desc[u] = d
+	}
+	return out
+}
+
+// reduceTwoHop removes edge u->v when v is a direct successor of another
+// direct successor of u. Linear-ish and allocation-light; removes the bulk
+// of redundancy in shallow condensations.
+func reduceTwoHop(dag SliceGraph) SliceGraph {
+	n := len(dag)
+	out := make(SliceGraph, n)
+	isSucc := make([]int32, n)
+	redundant := make([]int32, n)
+	for i := range isSucc {
+		isSucc[i] = -1
+		redundant[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range dag[u] {
+			isSucc[v] = int32(u)
+		}
+		for _, v := range dag[u] {
+			for _, w := range dag[v] {
+				if isSucc[w] == int32(u) {
+					redundant[w] = int32(u)
+				}
+			}
+		}
+		for _, v := range dag[u] {
+			if redundant[v] != int32(u) {
+				out[u] = append(out[u], v)
+			}
+		}
+	}
+	return out
+}
+
+// NumEdges counts the directed edges in a SliceGraph.
+func NumEdges(dag SliceGraph) int {
+	total := 0
+	for _, s := range dag {
+		total += len(s)
+	}
+	return total
+}
+
+func sortDescending(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] < v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// bitset is a fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (b bitset) or(o bitset) {
+	for i := range o {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) orFrom(o bitset) { copy(b, o) }

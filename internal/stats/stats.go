@@ -1,0 +1,290 @@
+// Package stats provides the small statistical and table-rendering toolkit
+// used by the experiment harness: summary statistics, empirical CDFs,
+// bucketed distributions, and fixed-width text tables matching the paper's
+// reporting format.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// Summary holds the basic statistics the paper's Table 2 reports.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	if len(xs) > 1 {
+		s.SD = math.Sqrt(varsum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Percentile(sorted, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of an ascending-sorted
+// slice using linear interpolation. It panics on empty input.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // fraction of samples <= X
+}
+
+// CDF returns the empirical CDF of xs evaluated at `points` evenly spaced
+// quantile positions (the series behind the paper's Figure 3).
+func CDF(xs []float64, points int) []CDFPoint {
+	if len(xs) == 0 || points < 2 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, points)
+	for i := 0; i < points; i++ {
+		f := float64(i) / float64(points-1)
+		idx := int(f * float64(len(sorted)-1))
+		out[i] = CDFPoint{X: sorted[idx], F: float64(idx+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// Bucket is one bucket of a value-vs-key distribution (Figure 5: expected
+// cost bucketed by typical-cascade size).
+type Bucket struct {
+	Lo, Hi     float64 // key range [Lo, Hi)
+	N          int
+	Mean       float64
+	Max        float64
+	keySum     float64
+	valueSum   float64
+	valueSqSum float64
+}
+
+// BucketBy groups (key, value) pairs into `buckets` geometric buckets over
+// the key range and reports the mean and max value per bucket. Keys must be
+// positive; non-positive keys go into the first bucket.
+func BucketBy(keys, values []float64, buckets int) []Bucket {
+	if len(keys) != len(values) || len(keys) == 0 || buckets < 1 {
+		return nil
+	}
+	maxKey := 1.0
+	for _, k := range keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	// Geometric bucket edges 1, r, r^2, ..., maxKey.
+	ratio := math.Pow(maxKey, 1/float64(buckets))
+	if ratio <= 1 {
+		ratio = 2
+	}
+	edges := make([]float64, buckets+1)
+	edges[0] = 1
+	for i := 1; i <= buckets; i++ {
+		edges[i] = edges[i-1] * ratio
+	}
+	edges[buckets] = math.Nextafter(maxKey, math.Inf(1))
+	out := make([]Bucket, buckets)
+	for i := range out {
+		out[i].Lo = edges[i]
+		out[i].Hi = edges[i+1]
+	}
+	for i, k := range keys {
+		b := 0
+		for b+1 < buckets && k >= edges[b+1] {
+			b++
+		}
+		out[b].N++
+		out[b].valueSum += values[i]
+		if values[i] > out[b].Max {
+			out[b].Max = values[i]
+		}
+	}
+	for i := range out {
+		if out[i].N > 0 {
+			out[i].Mean = out[i].valueSum / float64(out[i].N)
+		}
+	}
+	return out
+}
+
+// Table renders rows as a fixed-width text table with a header.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells render with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := utf8.RuneCountInString(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length samples; 0 when undefined (fewer than 2 points or zero
+// variance).
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// RankCorrelation returns Spearman's ρ: the Pearson correlation of the two
+// samples' fractional ranks. Robust to the heavy-tailed sphere sizes the
+// cost-vs-size analysis deals with.
+func RankCorrelation(xs, ys []float64) float64 {
+	return Correlation(ranks(xs), ranks(ys))
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for r := 0; r < len(idx); {
+		// Average ranks over ties.
+		r2 := r
+		for r2+1 < len(idx) && xs[idx[r2+1]] == xs[idx[r]] {
+			r2++
+		}
+		avg := float64(r+r2) / 2
+		for j := r; j <= r2; j++ {
+			out[idx[j]] = avg
+		}
+		r = r2 + 1
+	}
+	return out
+}

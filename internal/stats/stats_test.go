@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"soi/internal/rng"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Sample SD of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); math.Abs(s.SD-want) > 1e-12 {
+		t.Fatalf("SD = %v, want %v", s.SD, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.SD != 0 || s.Median != 3 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestCDFMonotone(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	cdf := CDF(xs, 20)
+	if len(cdf) != 20 {
+		t.Fatalf("got %d points", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].F < cdf[i-1].F {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if last := cdf[len(cdf)-1]; last.F != 1 {
+		t.Fatalf("final F = %v, want 1", last.F)
+	}
+}
+
+func TestCDFEdgeCases(t *testing.T) {
+	if CDF(nil, 10) != nil {
+		t.Error("CDF(nil) != nil")
+	}
+	if CDF([]float64{1}, 1) != nil {
+		t.Error("CDF with 1 point != nil")
+	}
+}
+
+func TestBucketBy(t *testing.T) {
+	keys := []float64{1, 2, 4, 8, 16, 32}
+	values := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	buckets := BucketBy(keys, values, 3)
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	totalN := 0
+	for _, b := range buckets {
+		totalN += b.N
+		if b.N > 0 && (b.Max < b.Mean) {
+			t.Fatalf("bucket %+v has max < mean", b)
+		}
+	}
+	if totalN != len(keys) {
+		t.Fatalf("buckets hold %d of %d items", totalN, len(keys))
+	}
+}
+
+func TestBucketByDegenerate(t *testing.T) {
+	if BucketBy([]float64{1}, []float64{1, 2}, 2) != nil {
+		t.Error("accepted length mismatch")
+	}
+	if BucketBy(nil, nil, 2) != nil {
+		t.Error("accepted empty input")
+	}
+	// All-equal keys must not crash and keep all items.
+	b := BucketBy([]float64{1, 1, 1}, []float64{5, 6, 7}, 4)
+	n := 0
+	for _, bb := range b {
+		n += bb.N
+	}
+	if n != 3 {
+		t.Fatalf("kept %d of 3", n)
+	}
+}
+
+func TestQuickBucketsPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(100) + 1
+		keys := make([]float64, n)
+		values := make([]float64, n)
+		for i := range keys {
+			keys[i] = 1 + 1000*r.Float64()
+			values[i] = r.Float64()
+		}
+		buckets := BucketBy(keys, values, 8)
+		total := 0
+		for _, b := range buckets {
+			total += b.N
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "count", "cost")
+	tbl.AddRow("alpha", 10, 0.25)
+	tbl.AddRow("beta-long-name", 2000, 123.456)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "cost") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "0.2500") {
+		t.Fatalf("row 1 wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "123.5") {
+		t.Fatalf("row 2 wrong: %q", lines[3])
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Correlation(xs, []float64{2, 4, 6, 8, 10}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect positive correlation = %v", got)
+	}
+	if got := Correlation(xs, []float64{10, 8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect negative correlation = %v", got)
+	}
+	if got := Correlation(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Fatalf("zero-variance correlation = %v", got)
+	}
+	if got := Correlation(xs, []float64{1, 2}); got != 0 {
+		t.Fatalf("length mismatch correlation = %v", got)
+	}
+}
+
+func TestRankCorrelationMonotone(t *testing.T) {
+	// Any strictly monotone transform gives Spearman ρ = 1.
+	xs := []float64{1, 5, 2, 9, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x * x
+	}
+	if got := RankCorrelation(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman of monotone transform = %v", got)
+	}
+}
+
+func TestRankCorrelationTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 2}
+	ys := []float64{1, 1, 2, 2}
+	if got := RankCorrelation(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("tied Spearman = %v", got)
+	}
+}

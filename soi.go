@@ -1,0 +1,349 @@
+// Package soi — Spheres of Influence — is a Go implementation of
+// "Spheres of Influence for More Effective Viral Marketing"
+// (Mehmood, Bonchi & García-Soriano, SIGMOD 2016).
+//
+// Given a directed probabilistic graph, the library computes for any node s
+// its *typical cascade*: the set of nodes minimizing the expected Jaccard
+// distance to a random contagion cascade started at s under the Independent
+// Cascade model. The expected distance of that set — its *stability* — says
+// how predictable s's influence is. On top of the typical cascades the
+// library implements the paper's InfMax_TC influence-maximization method
+// (greedy max-cover over the spheres of influence), the standard CELF greedy
+// baseline, probability learning from propagation logs (Saito EM and Goyal
+// frequentist), reliability queries, and a full experiment harness
+// regenerating every table and figure of the paper.
+//
+// The typical workflow is:
+//
+//	g, _, err := soi.LoadGraph("network.tsv")     // or soi.Generate / builder
+//	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 1000, Seed: 1})
+//	sphere := soi.TypicalCascade(idx, v, soi.TypicalOptions{CostSamples: 1000})
+//	seeds, err := soi.SelectSeedsTC(g, soi.SpheresOf(soi.AllTypicalCascades(idx, soi.TypicalOptions{})), 200)
+//
+// This package is a thin facade: the implementation lives in the internal/
+// packages documented in DESIGN.md.
+package soi
+
+import (
+	"io"
+
+	"soi/internal/cascade"
+	"soi/internal/core"
+	"soi/internal/datasets"
+	"soi/internal/gen"
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/infmax"
+	"soi/internal/jaccard"
+	"soi/internal/probs"
+	"soi/internal/proplog"
+	"soi/internal/reliability"
+)
+
+// NodeID identifies a node; ids are dense in [0, NumNodes).
+type NodeID = graph.NodeID
+
+// Graph is an immutable directed probabilistic graph (CSR storage).
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces a Graph.
+type GraphBuilder = graph.Builder
+
+// Edge is a directed probabilistic edge.
+type Edge = graph.Edge
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// LoadGraph reads an edge-list TSV file ("from to probability" per line) and
+// returns the graph plus the dense-ID -> original-ID mapping.
+func LoadGraph(path string) (*Graph, []int64, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes g as an edge-list TSV file.
+func SaveGraph(path string, g *Graph, origIDs []int64) error {
+	return graph.SaveFile(path, g, origIDs)
+}
+
+// GenConfig configures the synthetic graph generators ("ba", "er", "ws",
+// "copying").
+type GenConfig = gen.Config
+
+// Generate builds a synthetic social graph; apply a probability assignment
+// afterwards (WeightedCascade, FixedProbs, LearnSaito, ...).
+func Generate(cfg GenConfig) (*Graph, error) { return gen.Generate(cfg) }
+
+// IndexOptions configures cascade-index construction.
+type IndexOptions = index.Options
+
+// Index is the cascade index of the paper's §4: ℓ sampled possible worlds
+// stored as SCC condensations plus a node→component matrix.
+type Index = index.Index
+
+// IndexScratch holds reusable per-goroutine query buffers.
+type IndexScratch = index.Scratch
+
+// Propagation-model selectors for IndexOptions.Model.
+const (
+	ModelIC = index.IC
+	ModelLT = index.LT
+)
+
+// BuildIndex samples opts.Samples possible worlds of g and indexes them.
+func BuildIndex(g *Graph, opts IndexOptions) (*Index, error) { return index.Build(g, opts) }
+
+// LoadIndex reads a serialized index for graph g.
+func LoadIndex(path string, g *Graph) (*Index, error) { return index.LoadFile(path, g) }
+
+// TypicalOptions configures typical-cascade computation.
+type TypicalOptions = core.Options
+
+// Sphere is the typical cascade of a source, with its stability estimates.
+type Sphere = core.Result
+
+// Median-algorithm selectors for TypicalOptions.Algorithm.
+const (
+	MedianPrefix        = core.MedianPrefix
+	MedianMajority      = core.MedianMajority
+	MedianExact         = core.MedianExact
+	MedianPrefixRefined = core.MedianPrefixRefined
+)
+
+// TypicalCascade computes the sphere of influence of node v.
+func TypicalCascade(x *Index, v NodeID, opts TypicalOptions) Sphere {
+	return core.Compute(x, v, opts)
+}
+
+// SeedSetTypicalCascade computes the typical cascade of a whole seed set
+// (used for the paper's seed-set stability analysis).
+func SeedSetTypicalCascade(x *Index, seeds []NodeID, opts TypicalOptions) Sphere {
+	return core.ComputeFromSet(x, seeds, opts)
+}
+
+// AllTypicalCascades computes the sphere of influence of every node
+// (Algorithm 2), in parallel.
+func AllTypicalCascades(x *Index, opts TypicalOptions) []Sphere {
+	return core.ComputeAll(x, opts)
+}
+
+// SaveSpheres / LoadSpheres persist the results of AllTypicalCascades, the
+// paper's §8 deployment story: compute the spheres once, reuse them for
+// every subsequent campaign (plain, weighted or budgeted max-cover).
+func SaveSpheres(path string, results []Sphere) error {
+	return core.SaveSpheresFile(path, results)
+}
+
+// LoadSpheres reads a sphere store written by SaveSpheres.
+func LoadSpheres(path string) ([]Sphere, error) {
+	return core.LoadSpheresFile(path)
+}
+
+// WeightedTypicalCascade computes the sphere of influence under node values
+// (the §8 scenario: market segments worth different amounts): the set
+// minimizing the expected *weighted* Jaccard distance to a random cascade.
+// weight is indexed by node id; ids beyond the slice weigh 1.
+func WeightedTypicalCascade(x *Index, seeds []NodeID, weight []float64, opts TypicalOptions) Sphere {
+	return core.ComputeWeighted(x, seeds, weight, opts)
+}
+
+// WeightedJaccardDistance returns the weighted Jaccard distance of two
+// sorted node sets under per-node weights.
+func WeightedJaccardDistance(a, b []NodeID, weight []float64) float64 {
+	return jaccard.WeightedDistance(a, b, weight)
+}
+
+// Mode is one cascade mode of a source (see AnalyzeModes).
+type Mode = core.Mode
+
+// AnalyzeModes clusters the sampled cascades of v into at most k modes
+// (k-medoids under Jaccard distance), revealing e.g. die-out vs take-off
+// structure that a single typical cascade cannot express.
+func AnalyzeModes(x *Index, v NodeID, k int) []Mode { return core.AnalyzeModes(x, v, k) }
+
+// TakeoffProbability sums the probability of all modes larger than the
+// dominant one — how often a cascade escapes its most typical behaviour.
+func TakeoffProbability(modes []Mode) float64 { return core.TakeoffProbability(modes) }
+
+// EstimateStability estimates ρ_{g,seeds}(set): the expected Jaccard
+// distance between set and a fresh random cascade from seeds. Lower is more
+// stable.
+func EstimateStability(g *Graph, seeds, set []NodeID, samples int, seed uint64) float64 {
+	return core.EstimateCost(g, seeds, set, samples, seed)
+}
+
+// JaccardDistance returns d_J(a, b) for sorted node sets.
+func JaccardDistance(a, b []NodeID) float64 { return jaccard.Distance(a, b) }
+
+// ExpectedSpread estimates σ(seeds) under the IC model by Monte Carlo.
+func ExpectedSpread(g *Graph, seeds []NodeID, trials int, seed uint64) float64 {
+	return cascade.ExpectedSpread(g, seeds, trials, seed, 0)
+}
+
+// SpreadFromIndex estimates σ(seeds) over the worlds of a prebuilt index,
+// the shared-sample estimator both influence-maximization methods use.
+func SpreadFromIndex(x *Index, seeds []NodeID, s *IndexScratch) float64 {
+	return cascade.SpreadFromIndex(x, seeds, s)
+}
+
+// Selection is a seed-selection outcome (seeds in pick order, with marginal
+// gains in the method's objective units).
+type Selection = infmax.Selection
+
+// Spheres is the per-node typical-cascade input to SelectSeedsTC.
+type Spheres = infmax.Spheres
+
+// SpheresOf extracts the sphere sets from AllTypicalCascades results.
+func SpheresOf(results []Sphere) Spheres {
+	out := make(Spheres, len(results))
+	for i := range results {
+		out[i] = results[i].Set
+	}
+	return out
+}
+
+// SelectSeedsStd runs standard greedy influence maximization with CELF on
+// the expected spread over the index's fixed sampled worlds (fast,
+// deterministic; recommended).
+func SelectSeedsStd(x *Index, k int) (Selection, error) { return infmax.Std(x, k) }
+
+// SelectSeedsStdCELFpp is SelectSeedsStd with the CELF++ optimization
+// (Goyal et al., WWW 2011): identical seeds, fewer gain evaluations.
+func SelectSeedsStdCELFpp(x *Index, k int) (Selection, error) { return infmax.StdCELFpp(x, k) }
+
+// MCOptions configures the Monte-Carlo greedy.
+type MCOptions = infmax.MCOptions
+
+// SelectSeedsStdMC runs the paper-faithful InfMax_std: CELF greedy whose
+// marginal gains are re-estimated with fresh IC simulations at every
+// evaluation. Slower and noisier than SelectSeedsStd — the noise is the
+// saturation mechanism the paper analyzes.
+func SelectSeedsStdMC(g *Graph, k int, opts MCOptions) (Selection, error) {
+	return infmax.StdMC(g, k, opts)
+}
+
+// SelectSeedsTC runs the paper's InfMax_TC (Algorithm 3): greedy maximum
+// coverage over the spheres of influence.
+func SelectSeedsTC(g *Graph, spheres Spheres, k int) (Selection, error) {
+	return infmax.TC(g, spheres, k)
+}
+
+// RROptions configures the reverse-reachable-sketch method.
+type RROptions = infmax.RROptions
+
+// SelectSeedsRR runs reverse-reachable-sketch influence maximization (Borgs
+// et al. / TIM style): greedy max-cover over sampled RR sets.
+func SelectSeedsRR(g *Graph, k int, opts RROptions) (Selection, error) {
+	return infmax.RR(g, k, opts)
+}
+
+// RRAutoOptions configures the self-budgeting RR method.
+type RRAutoOptions = infmax.RRAutoOptions
+
+// SelectSeedsRRAuto is SelectSeedsRR with TIM's automatic sample-size
+// selection: the number of RR sets is derived from the graph (KPT
+// estimation) to guarantee a (1-1/e-ε)-approximation. Returns the selection
+// and the θ chosen.
+func SelectSeedsRRAuto(g *Graph, k int, opts RRAutoOptions) (Selection, int, error) {
+	return infmax.RRAuto(g, k, opts)
+}
+
+// SelectSeedsDegree and SelectSeedsRandom are the classical baselines.
+func SelectSeedsDegree(g *Graph, k int) (Selection, error) { return infmax.Degree(g, k) }
+
+// SelectSeedsDegreeDiscount runs the DegreeDiscountIC heuristic (Chen et
+// al., KDD 2009) for roughly-uniform edge probability p.
+func SelectSeedsDegreeDiscount(g *Graph, k int, p float64) (Selection, error) {
+	return infmax.DegreeDiscount(g, k, p)
+}
+
+// SelectSeedsRandom selects k uniformly random seeds.
+func SelectSeedsRandom(g *Graph, k int, seed uint64) (Selection, error) {
+	return infmax.Random(g, k, seed)
+}
+
+// WeightedCascade assigns p(u,v) = 1/inDeg(v).
+func WeightedCascade(g *Graph) (*Graph, error) { return probs.WeightedCascade(g) }
+
+// FixedProbs assigns the same probability to every edge.
+func FixedProbs(g *Graph, p float64) (*Graph, error) { return probs.Fixed(g, p) }
+
+// TrivalencyProbs assigns each edge a probability from {0.1, 0.01, 0.001}.
+func TrivalencyProbs(g *Graph, seed uint64) (*Graph, error) { return probs.Trivalency(g, seed) }
+
+// PropagationLog is a (user, item, time) action log.
+type PropagationLog = proplog.Log
+
+// LogEvent is one action in a PropagationLog.
+type LogEvent = proplog.Event
+
+// NewPropagationLog builds a log from events.
+func NewPropagationLog(numUsers int, events []LogEvent) (*PropagationLog, error) {
+	return proplog.NewLog(numUsers, events)
+}
+
+// ReadPropagationLog parses a "user item time" TSV stream.
+func ReadPropagationLog(r io.Reader, numUsers int) (*PropagationLog, error) {
+	return proplog.ReadTSV(r, numUsers)
+}
+
+// SimulateLog generates a synthetic propagation log by simulating IC item
+// cascades over a ground-truth graph.
+func SimulateLog(groundTruth *Graph, items, seedsPerItem int, seed uint64) (*PropagationLog, error) {
+	return proplog.Generate(groundTruth, proplog.GenerateConfig{
+		Items: items, SeedsPerItem: seedsPerItem, Seed: seed,
+	})
+}
+
+// SaitoConfig configures the EM learner.
+type SaitoConfig = probs.SaitoConfig
+
+// LearnSaito learns IC probabilities from a log with Saito et al.'s EM.
+func LearnSaito(topology *Graph, log *PropagationLog, cfg SaitoConfig) (*Graph, error) {
+	return probs.Saito(topology, log, cfg)
+}
+
+// GoyalConfig configures the frequentist learner.
+type GoyalConfig = probs.GoyalConfig
+
+// LearnGoyal learns probabilities with Goyal et al.'s frequentist counting.
+func LearnGoyal(topology *Graph, log *PropagationLog, cfg GoyalConfig) (*Graph, error) {
+	return probs.Goyal(topology, log, cfg)
+}
+
+// StreamingLearner is the single-pass, bounded-memory Goyal variant (STRIP
+// setting): feed items with ObserveItem/ObserveLog, call Finalize anytime.
+type StreamingLearner = probs.StreamingGoyal
+
+// StreamingLearnerConfig configures the streaming learner; Width > 0 bounds
+// the propagation-count memory with a count-min sketch.
+type StreamingLearnerConfig = probs.StreamingGoyalConfig
+
+// NewStreamingLearner creates a streaming learner over a social topology.
+func NewStreamingLearner(topology *Graph, cfg StreamingLearnerConfig) (*StreamingLearner, error) {
+	return probs.NewStreamingGoyal(topology, cfg)
+}
+
+// Reliability estimates the probability that t is reachable from s.
+func Reliability(g *Graph, s, t NodeID, samples int, seed uint64) (float64, error) {
+	return reliability.ST(g, s, t, samples, seed)
+}
+
+// ReliabilitySearch returns the nodes reachable from the sources with
+// probability at least threshold.
+func ReliabilitySearch(g *Graph, sources []NodeID, threshold float64, samples int, seed uint64) ([]NodeID, error) {
+	return reliability.Search(g, sources, threshold, samples, seed)
+}
+
+// Dataset is one of the paper's 12 experimental configurations materialized
+// as a synthetic analog (see DESIGN.md §3).
+type Dataset = datasets.Dataset
+
+// DatasetConfig scales and seeds dataset materialization.
+type DatasetConfig = datasets.Config
+
+// DatasetNames lists the 12 configuration names (digg-S, ..., slashdot-F).
+func DatasetNames() []string { return datasets.Names() }
+
+// LoadDataset materializes one named configuration.
+func LoadDataset(name string, cfg DatasetConfig) (*Dataset, error) {
+	return datasets.Load(name, cfg)
+}

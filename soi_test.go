@@ -1,0 +1,287 @@
+package soi
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEndToEndViralMarketing drives the full public API the way the
+// quickstart does: build a graph, index it, compute spheres, select seeds
+// with both methods, and compare spreads.
+func TestEndToEndViralMarketing(t *testing.T) {
+	topo, err := Generate(GenConfig{Model: "ba", N: 300, M: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := WeightedCascade(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(g, IndexOptions{Samples: 200, Seed: 2, TransitiveReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spheres := SpheresOf(AllTypicalCascades(idx, TypicalOptions{}))
+	if len(spheres) != g.NumNodes() {
+		t.Fatalf("spheres: %d for %d nodes", len(spheres), g.NumNodes())
+	}
+
+	const k = 20
+	std, err := SelectSeedsStd(idx, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := SelectSeedsTC(g, spheres, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(std.Seeds) != k || len(tc.Seeds) != k {
+		t.Fatalf("seed counts: %d / %d", len(std.Seeds), len(tc.Seeds))
+	}
+
+	s := idx.NewScratch()
+	spreadStd := SpreadFromIndex(idx, std.Seeds, s)
+	spreadTC := SpreadFromIndex(idx, tc.Seeds, s)
+	rnd, err := SelectSeedsRandom(g, k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreadRnd := SpreadFromIndex(idx, rnd.Seeds, s)
+
+	// Both principled methods must beat random seeds comfortably.
+	if spreadStd <= spreadRnd || spreadTC <= spreadRnd {
+		t.Fatalf("spreads std=%v tc=%v rnd=%v: methods failed to beat random",
+			spreadStd, spreadTC, spreadRnd)
+	}
+	// And land within a sane band of each other (paper: curves cross but
+	// stay comparable).
+	if ratio := spreadTC / spreadStd; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("spread ratio TC/std = %v out of band", ratio)
+	}
+}
+
+func TestTypicalCascadeAndStability(t *testing.T) {
+	b := NewGraphBuilder(4)
+	b.AddEdge(0, 1, 0.9)
+	b.AddEdge(1, 2, 0.9)
+	b.AddEdge(2, 3, 0.05)
+	g := b.MustBuild()
+	idx, err := BuildIndex(g, IndexOptions{Samples: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sphere := TypicalCascade(idx, 0, TypicalOptions{CostSamples: 1000, CostSeed: 5})
+	// 0 -> 1 -> 2 are near-certain; 3 is a long shot: the sphere should be
+	// {0,1,2}.
+	want := []NodeID{0, 1, 2}
+	if len(sphere.Set) != len(want) {
+		t.Fatalf("sphere = %v, want %v", sphere.Set, want)
+	}
+	for i := range want {
+		if sphere.Set[i] != want[i] {
+			t.Fatalf("sphere = %v, want %v", sphere.Set, want)
+		}
+	}
+	if sphere.ExpectedCost < 0 || sphere.ExpectedCost > 0.3 {
+		t.Fatalf("stability %v out of expected band", sphere.ExpectedCost)
+	}
+	// Direct stability estimate agrees.
+	direct := EstimateStability(g, []NodeID{0}, sphere.Set, 2000, 6)
+	if math.Abs(direct-sphere.ExpectedCost) > 0.05 {
+		t.Fatalf("EstimateStability %v vs sphere cost %v", direct, sphere.ExpectedCost)
+	}
+}
+
+func TestLearningRoundTrip(t *testing.T) {
+	topo, err := Generate(GenConfig{Model: "er", N: 40, M: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := FixedProbs(topo, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := SimulateLog(truth, 2000, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learnt, err := LearnSaito(topo, log, SaitoConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learnt.NumEdges() == 0 {
+		t.Fatal("nothing learnt")
+	}
+	if m := learnt.MeanProb(); math.Abs(m-0.3) > 0.08 {
+		t.Fatalf("learnt mean prob %v, truth 0.3", m)
+	}
+}
+
+func TestReliabilityFacade(t *testing.T) {
+	b := NewGraphBuilder(3)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	g := b.MustBuild()
+	rel, err := Reliability(g, 0, 2, 100000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel-0.25) > 0.01 {
+		t.Fatalf("rel = %v, want ~0.25", rel)
+	}
+	nodes, err := ReliabilitySearch(g, []NodeID{0}, 0.4, 50000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 { // 0 (1.0) and 1 (0.5)
+		t.Fatalf("search = %v", nodes)
+	}
+}
+
+func TestDatasetFacade(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 12 {
+		t.Fatalf("got %d dataset names", len(names))
+	}
+	d, err := LoadDataset("nethept-F", DatasetConfig{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d.Name, "nethept") || d.Graph.NumEdges() == 0 {
+		t.Fatalf("bad dataset %+v", d.Name)
+	}
+}
+
+func TestGraphIOFacade(t *testing.T) {
+	b := NewGraphBuilder(3)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.25)
+	g := b.MustBuild()
+	path := t.TempDir() + "/g.tsv"
+	if err := SaveGraph(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Fatalf("round trip lost edges: %d", g2.NumEdges())
+	}
+}
+
+func TestIndexPersistenceFacade(t *testing.T) {
+	topo, err := Generate(GenConfig{Model: "er", N: 50, M: 150, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FixedProbs(topo, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(g, IndexOptions{Samples: 20, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/idx.bin"
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := LoadIndex(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := TypicalCascade(idx, 0, TypicalOptions{})
+	b2 := TypicalCascade(idx2, 0, TypicalOptions{})
+	if JaccardDistance(a.Set, b2.Set) != 0 {
+		t.Fatal("reloaded index gives different sphere")
+	}
+}
+
+func TestFacadeNewMethods(t *testing.T) {
+	topo, err := Generate(GenConfig{Model: "ba", N: 150, M: 3, TailExp: 2.0, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FixedProbs(topo, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(g, IndexOptions{Samples: 60, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	std, err := SelectSeedsStd(idx, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpp, err := SelectSeedsStdCELFpp(idx, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CELF++ must match CELF's objective trajectory exactly.
+	a, b := 0.0, 0.0
+	for i := range std.Gains {
+		a += std.Gains[i]
+		b += cpp.Gains[i]
+		if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("CELF++ diverges at prefix %d", i+1)
+		}
+	}
+	rr, err := SelectSeedsRR(g, k, RROptions{Sets: 4000, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Seeds) != k {
+		t.Fatalf("RR selected %d seeds", len(rr.Seeds))
+	}
+	mc, err := SelectSeedsStdMC(g, 3, MCOptions{Trials: 60, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Seeds) != 3 {
+		t.Fatalf("MC selected %d seeds", len(mc.Seeds))
+	}
+}
+
+func TestFacadeLTModel(t *testing.T) {
+	topo, err := Generate(GenConfig{Model: "er", N: 60, M: 180, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := WeightedCascade(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(g, IndexOptions{Samples: 80, Seed: 26, Model: ModelLT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sphere := TypicalCascade(idx, 0, TypicalOptions{CostSamples: 100, CostSeed: 27, Model: ModelLT})
+	if len(sphere.Set) == 0 || sphere.ExpectedCost < 0 || sphere.ExpectedCost > 1 {
+		t.Fatalf("LT sphere = %+v", sphere)
+	}
+}
+
+func TestFacadeRefinedMedian(t *testing.T) {
+	topo, err := Generate(GenConfig{Model: "er", N: 50, M: 150, Seed: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FixedProbs(topo, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(g, IndexOptions{Samples: 100, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := TypicalCascade(idx, 0, TypicalOptions{Algorithm: MedianPrefix})
+	r := TypicalCascade(idx, 0, TypicalOptions{Algorithm: MedianPrefixRefined})
+	if r.SampleCost > p.SampleCost+1e-12 {
+		t.Fatalf("refined %v worse than prefix %v", r.SampleCost, p.SampleCost)
+	}
+}
