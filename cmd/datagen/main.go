@@ -7,11 +7,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"soi/internal/atomicfile"
 	"soi/internal/datasets"
 	"soi/internal/graph"
 )
@@ -40,17 +46,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datagen: specify -dataset, -all or -list")
 		os.Exit(1)
 	}
-	if err := run(names, *scale, *seed, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
+	// Ctrl-C / SIGTERM cancel the context: generation stops between datasets
+	// and the atomic writers never leave a truncated file behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, names, *scale, *seed, *out); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "datagen: canceled")
+		} else {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(names []string, scale float64, seed uint64, outDir string) error {
+func run(ctx context.Context, names []string, scale float64, seed uint64, outDir string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	for _, n := range names {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		d, err := datasets.Load(n, datasets.Config{Scale: scale, Seed: seed})
 		if err != nil {
 			return err
@@ -64,15 +81,9 @@ func run(names []string, scale float64, seed uint64, outDir string) error {
 			if err := graph.SaveFile(base+".truth.tsv", d.GroundTruth, nil); err != nil {
 				return err
 			}
-			f, err := os.Create(base + ".log.tsv")
-			if err != nil {
-				return err
-			}
-			if err := d.Log.WriteTSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := atomicfile.WriteFile(base+".log.tsv", func(w io.Writer) error {
+				return d.Log.WriteTSV(w)
+			}); err != nil {
 				return err
 			}
 			written = append(written, base+".truth.tsv", base+".log.tsv")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestRunAssignedDataset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"nethept-W"}, 0.05, 0, dir); err != nil {
+	if err := run(context.Background(), []string{"nethept-W"}, 0.05, 0, dir); err != nil {
 		t.Fatal(err)
 	}
 	gp := filepath.Join(dir, "nethept-W.graph.tsv")
@@ -30,7 +31,7 @@ func TestRunAssignedDataset(t *testing.T) {
 
 func TestRunLearntDataset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"twitter-S"}, 0.05, 0, dir); err != nil {
+	if err := run(context.Background(), []string{"twitter-S"}, 0.05, 0, dir); err != nil {
 		t.Fatal(err)
 	}
 	for _, suffix := range []string{".graph.tsv", ".truth.tsv", ".log.tsv"} {
@@ -58,7 +59,7 @@ func TestRunLearntDataset(t *testing.T) {
 }
 
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run([]string{"nope-X"}, 0.05, 0, t.TempDir()); err == nil {
+	if err := run(context.Background(), []string{"nope-X"}, 0.05, 0, t.TempDir()); err == nil {
 		t.Fatal("accepted unknown dataset")
 	}
 }

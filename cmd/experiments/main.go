@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"soi/internal/experiments"
 )
@@ -31,6 +35,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancel the context: the heavy index builds abort
+	// between worlds and the run exits with a "canceled" message.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := experiments.Config{
 		Scale:       *scale,
 		Samples:     *samples,
@@ -38,15 +47,24 @@ func main() {
 		K:           *k,
 		Seed:        *seed,
 		Out:         os.Stdout,
+		Ctx:         ctx,
 	}
 	if *dsets != "" {
 		cfg.Datasets = strings.Split(*dsets, ",")
 	}
 
+	fail := func(prefix string, err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: canceled")
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: %s%v\n", prefix, err)
+		}
+		os.Exit(1)
+	}
+
 	if *replicas > 0 && *exp == "fig6" {
 		if _, err := experiments.Fig6Replicated(cfg, *replicas); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: fig6 replicated: %v\n", err)
-			os.Exit(1)
+			fail("fig6 replicated: ", err)
 		}
 		return
 	}
@@ -59,9 +77,11 @@ func main() {
 		ids = experiments.Extensions()
 	}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			fail("", err)
+		}
 		if err := experiments.RunWithCSV(id, cfg, *csvDir); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			fail(id+": ", err)
 		}
 	}
 }

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"soi/internal/cascade"
 	"soi/internal/core"
@@ -34,13 +38,20 @@ func main() {
 		spherePth = flag.String("spheres", "", "load precomputed spheres (cmd/sphere -all -store) instead of recomputing")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *k, *method, *compare, *samples, *evalSamp, *seed, *spherePth); err != nil {
-		fmt.Fprintln(os.Stderr, "infmax:", err)
+	// Ctrl-C / SIGTERM cancel the context so long selections stop promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *graphPath, *k, *method, *compare, *samples, *evalSamp, *seed, *spherePth); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "infmax: canceled")
+		} else {
+			fmt.Fprintln(os.Stderr, "infmax:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, k int, method string, compare bool, samples, evalSamples int, seed uint64, spherePath string) error {
+func run(ctx context.Context, graphPath string, k int, method string, compare bool, samples, evalSamples int, seed uint64, spherePath string) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -51,12 +62,12 @@ func run(graphPath string, k int, method string, compare bool, samples, evalSamp
 	if evalSamples == 0 {
 		evalSamples = samples
 	}
-	x, err := index.Build(g, index.Options{Samples: samples, Seed: seed, TransitiveReduction: true})
+	x, err := index.BuildCtx(ctx, g, index.Options{Samples: samples, Seed: seed, TransitiveReduction: true})
 	if err != nil {
 		return err
 	}
 
-	spheres := func() infmax.Spheres {
+	spheres := func() (infmax.Spheres, error) {
 		var results []core.Result
 		if spherePath != "" {
 			var err error
@@ -67,23 +78,34 @@ func run(graphPath string, k int, method string, compare bool, samples, evalSamp
 			}
 		}
 		if results == nil {
-			results = core.ComputeAll(x, core.Options{})
+			var err error
+			results, err = core.ComputeAllCtx(ctx, x, core.Options{})
+			if err != nil {
+				return nil, err
+			}
 		}
 		sp := make(infmax.Spheres, len(results))
 		for v := range results {
 			sp[v] = results[v].Set
 		}
-		return sp
+		return sp, nil
 	}
 
 	runMethod := func(m string) (infmax.Selection, error) {
+		if err := ctx.Err(); err != nil {
+			return infmax.Selection{}, err
+		}
 		switch m {
 		case "tc":
-			return infmax.TC(g, spheres(), k)
+			sp, err := spheres()
+			if err != nil {
+				return infmax.Selection{}, err
+			}
+			return infmax.TC(g, sp, k)
 		case "std":
 			return infmax.Std(x, k)
 		case "rr":
-			return infmax.RR(g, k, infmax.RROptions{Sets: 20 * samples, Seed: seed})
+			return infmax.RRCtx(ctx, g, k, infmax.RROptions{Sets: 20 * samples, Seed: seed})
 		case "degree":
 			return infmax.Degree(g, k)
 		case "degreediscount":
@@ -107,7 +129,10 @@ func run(graphPath string, k int, method string, compare bool, samples, evalSamp
 		if err != nil {
 			return err
 		}
-		spread := cascade.ExpectedSpread(g, sel.Seeds, evalSamples, seed^0xE7A1, 0)
+		spread, err := cascade.ExpectedSpreadCtx(ctx, g, sel.Seeds, evalSamples, seed^0xE7A1, 0)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("method=%s k=%d expected-spread=%.2f\nseeds:", method, len(sel.Seeds), spread)
 		for _, s := range sel.Seeds {
 			fmt.Printf(" %d", name(s))
@@ -116,7 +141,7 @@ func run(graphPath string, k int, method string, compare bool, samples, evalSamp
 		return nil
 	}
 
-	eval, err := index.Build(g, index.Options{Samples: evalSamples, Seed: seed ^ 0xE7A1})
+	eval, err := index.BuildCtx(ctx, g, index.Options{Samples: evalSamples, Seed: seed ^ 0xE7A1})
 	if err != nil {
 		return err
 	}

@@ -13,10 +13,17 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"soi/internal/atomicfile"
 	"soi/internal/core"
 	"soi/internal/graph"
 	"soi/internal/index"
@@ -40,14 +47,22 @@ func main() {
 		modes       = flag.Int("modes", 0, "with -node: also report up to this many cascade modes (die-out vs take-off)")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *node, *all, *samples, *costSamples, *seed,
+	// Ctrl-C / SIGTERM cancel the context: compute workers stop promptly and
+	// output files — written atomically — are never left truncated.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *graphPath, *node, *all, *samples, *costSamples, *seed,
 		*algorithm, *indexPath, *buildIndex, !*noTransRed, *ltModel, *outPath, *storePath, *modes); err != nil {
-		fmt.Fprintln(os.Stderr, "sphere:", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sphere: canceled")
+		} else {
+			fmt.Fprintln(os.Stderr, "sphere:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, node int, all bool, samples, costSamples int, seed uint64,
+func run(ctx context.Context, graphPath string, node int, all bool, samples, costSamples int, seed uint64,
 	algorithm, indexPath, buildIndexPath string, transRed, lt bool, outPath, storePath string, modes int) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
@@ -77,7 +92,7 @@ func run(graphPath string, node int, all bool, samples, costSamples int, seed ui
 		if lt {
 			model = index.LT
 		}
-		x, err = index.Build(g, index.Options{
+		x, err = index.BuildCtx(ctx, g, index.Options{
 			Samples:             samples,
 			Seed:                seed,
 			TransitiveReduction: transRed,
@@ -95,17 +110,11 @@ func run(graphPath string, node int, all bool, samples, costSamples int, seed ui
 		return nil
 	}
 
-	out := os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	}
-	w := bufio.NewWriter(out)
-	defer w.Flush()
+	// The report is buffered and flushed at the end: with -out it is then
+	// written atomically (temp file + rename), so a cancellation or crash
+	// mid-run never leaves a truncated report behind.
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
 
 	opts := core.Options{Algorithm: alg, CostSamples: costSamples, CostSeed: seed ^ 0xC057}
 	if lt {
@@ -131,7 +140,10 @@ func run(graphPath string, node int, all bool, samples, costSamples int, seed ui
 
 	switch {
 	case all:
-		results := core.ComputeAll(x, opts)
+		results, err := core.ComputeAllCtx(ctx, x, opts)
+		if err != nil {
+			return err
+		}
 		for _, res := range results {
 			report(res)
 		}
@@ -157,6 +169,9 @@ func run(graphPath string, node int, all bool, samples, costSamples int, seed ui
 		if dense < 0 || int(dense) >= g.NumNodes() {
 			return fmt.Errorf("node %d not in graph", node)
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		report(core.Compute(x, dense, opts))
 		if modes > 1 {
 			ms := core.AnalyzeModes(x, dense, modes)
@@ -169,5 +184,16 @@ func run(graphPath string, node int, all bool, samples, costSamples int, seed ui
 	default:
 		return fmt.Errorf("specify -node or -all")
 	}
-	return nil
+
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if outPath != "" {
+		return atomicfile.WriteFile(outPath, func(f io.Writer) error {
+			_, err := f.Write(buf.Bytes())
+			return err
+		})
+	}
+	_, err = os.Stdout.Write(buf.Bytes())
+	return err
 }

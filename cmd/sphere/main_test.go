@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +33,7 @@ func TestRunSingleNode(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "out.txt")
-	if err := run(gp, 5, false, 50, 50, 1, "prefix", "", "", true, false, out, "", 2); err != nil {
+	if err := run(context.Background(), gp, 5, false, 50, 50, 1, "prefix", "", "", true, false, out, "", 2); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -53,7 +54,7 @@ func TestRunAllWithStore(t *testing.T) {
 	gp := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "out.txt")
 	store := filepath.Join(dir, "spheres.bin")
-	if err := run(gp, -1, true, 30, 0, 1, "prefix", "", "", true, false, out, store, 0); err != nil {
+	if err := run(context.Background(), gp, -1, true, 30, 0, 1, "prefix", "", "", true, false, out, store, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(store); err != nil {
@@ -65,11 +66,11 @@ func TestRunIndexRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
 	idx := filepath.Join(dir, "idx.bin")
-	if err := run(gp, -1, false, 30, 0, 1, "prefix", "", idx, true, false, "", "", 0); err != nil {
+	if err := run(context.Background(), gp, -1, false, 30, 0, 1, "prefix", "", idx, true, false, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.txt")
-	if err := run(gp, 3, false, 0, 0, 1, "prefix", idx, "", true, false, out, "", 0); err != nil {
+	if err := run(context.Background(), gp, 3, false, 0, 0, 1, "prefix", idx, "", true, false, out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -82,7 +83,7 @@ func TestRunLTModel(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir) // WC weights: valid LT input
 	out := filepath.Join(dir, "out.txt")
-	if err := run(gp, 2, false, 30, 20, 1, "prefix", "", "", true, true, out, "", 0); err != nil {
+	if err := run(context.Background(), gp, 2, false, 30, 20, 1, "prefix", "", "", true, true, out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -90,16 +91,16 @@ func TestRunLTModel(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
-	if err := run("", 1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
+	if err := run(context.Background(), "", 1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
 		t.Error("accepted missing graph")
 	}
-	if err := run(gp, 1, false, 10, 0, 1, "nope", "", "", true, false, "", "", 0); err == nil {
+	if err := run(context.Background(), gp, 1, false, 10, 0, 1, "nope", "", "", true, false, "", "", 0); err == nil {
 		t.Error("accepted unknown algorithm")
 	}
-	if err := run(gp, 999, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
+	if err := run(context.Background(), gp, 999, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
 		t.Error("accepted out-of-range node")
 	}
-	if err := run(gp, -1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
+	if err := run(context.Background(), gp, -1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0); err == nil {
 		t.Error("accepted neither -node nor -all")
 	}
 }

@@ -1,0 +1,49 @@
+// Package atomicfile writes files atomically: content goes to a temporary
+// file in the destination directory, is synced, and is renamed over the
+// target only after a fully successful write. A crash, error, or
+// cancellation mid-write therefore never leaves a truncated or half-written
+// index/sphere-store/graph file at the destination — the old file (if any)
+// survives intact.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams write's output to path atomically. If write (or any
+// filesystem step) fails, the destination is left untouched and the
+// temporary file is removed.
+func WriteFile(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			os.Remove(tmp)
+		}
+	}()
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	tmp = "" // renamed away; nothing to clean up
+	return nil
+}

@@ -13,11 +13,11 @@
 package cascade
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"soi/internal/graph"
 	"soi/internal/index"
+	"soi/internal/pool"
 	"soi/internal/rng"
 )
 
@@ -59,44 +59,52 @@ func Simulate(g *graph.Graph, seeds []graph.NodeID, r *rng.PCG32, visited []bool
 }
 
 // ExpectedSpread estimates σ(seeds) by Monte Carlo over trials independent
-// IC simulations, parallelized across workers (0 = GOMAXPROCS). The result
-// is deterministic for a fixed seed regardless of worker count.
+// IC simulations, parallelized across workers (zero or negative =
+// GOMAXPROCS). The result is deterministic for a fixed seed regardless of
+// worker count. It is ExpectedSpreadCtx under context.Background(); a worker
+// panic (the only possible error there) is re-raised.
 func ExpectedSpread(g *graph.Graph, seeds []graph.NodeID, trials int, seed uint64, workers int) float64 {
+	est, err := ExpectedSpreadCtx(context.Background(), g, seeds, trials, seed, workers)
+	if err != nil {
+		panic(err)
+	}
+	return est
+}
+
+// ExpectedSpreadCtx is ExpectedSpread with cooperative cancellation: workers
+// check ctx between simulations, so a canceled context returns ctx.Err()
+// promptly. Worker panics are recovered into a *pool.PanicError.
+func ExpectedSpreadCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, trials int, seed uint64, workers int) (float64, error) {
 	if trials <= 0 {
-		return 0
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
+		return 0, ctx.Err()
 	}
 	master := rng.New(seed)
+	// Pre-split generators so trial i is reproducible regardless of the
+	// worker that runs it.
 	gens := make([]*rng.PCG32, trials)
 	for i := range gens {
 		gens[i] = master.Split(uint64(i))
 	}
-	totals := make([]int64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			visited := make([]bool, g.NumNodes())
-			var sum int64
-			for i := w; i < trials; i += workers {
-				n := simulateSize(g, seeds, gens[i], visited)
-				sum += int64(n)
-			}
-			totals[w] = sum
-		}(w)
+	w := pool.Workers(workers, trials)
+	totals := make([]int64, w)
+	visiteds := make([][]bool, w)
+	err := pool.Run(ctx, trials, pool.Options{Workers: w}, func(worker, i int) error {
+		visited := visiteds[worker]
+		if visited == nil {
+			visited = make([]bool, g.NumNodes())
+			visiteds[worker] = visited
+		}
+		totals[worker] += int64(simulateSize(g, seeds, gens[i], visited))
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	wg.Wait()
 	var total int64
 	for _, s := range totals {
 		total += s
 	}
-	return float64(total) / float64(trials)
+	return float64(total) / float64(trials), nil
 }
 
 // simulateSize is Simulate without recording steps; returns the cascade size.

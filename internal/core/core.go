@@ -21,14 +21,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"soi/internal/graph"
 	"soi/internal/index"
 	"soi/internal/jaccard"
+	"soi/internal/pool"
 	"soi/internal/rng"
 	"soi/internal/worlds"
 )
@@ -77,8 +77,12 @@ type Options struct {
 	CostSamples int
 	// CostSeed seeds the held-out sampling.
 	CostSeed uint64
-	// Workers bounds parallelism in ComputeAll; 0 means GOMAXPROCS.
+	// Workers bounds parallelism in ComputeAll; zero and negative values
+	// both mean GOMAXPROCS (the library-wide Workers convention).
 	Workers int
+	// Progress, if non-nil, is called by ComputeAll after each node's sphere
+	// is computed with (done, total). Calls are serialized.
+	Progress func(done, total int)
 	// Model selects the propagation model for the held-out cost estimate.
 	// It must match the model the index was built with; the zero value is
 	// IC.
@@ -190,38 +194,43 @@ func EstimateCostModel(g *graph.Graph, seeds []graph.NodeID, set []graph.NodeID,
 
 // ComputeAll computes the typical cascade of every node (Algorithm 2),
 // parallelized across Options.Workers. Results are indexed by node id.
+// It is ComputeAllCtx under context.Background(); a worker panic (the only
+// possible error there) is re-raised.
 func ComputeAll(x *index.Index, opts Options) []Result {
+	out, err := ComputeAllCtx(context.Background(), x, opts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ComputeAllCtx is ComputeAll with cooperative cancellation: workers check
+// ctx between nodes and a canceled context returns ctx.Err() promptly with
+// a nil result. Worker panics are recovered into a *pool.PanicError.
+func ComputeAllCtx(ctx context.Context, x *index.Index, opts Options) ([]Result, error) {
 	n := x.Graph().NumNodes()
 	out := make([]Result, n)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan graph.NodeID)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			s := x.NewScratch()
-			for v := range next {
-				o := opts
-				if o.CostSamples > 0 {
-					// Derive a distinct, stable cost seed per node so the
-					// held-out estimates are independent across nodes.
-					o.CostSeed = rng.Mix64(opts.CostSeed ^ uint64(v))
-				}
-				out[v] = computeWithScratch(x, []graph.NodeID{v}, o, s)
+	workers := pool.Workers(opts.Workers, n)
+	scratches := make([]*index.Scratch, workers)
+	err := pool.Run(ctx, n, pool.Options{Workers: workers, Progress: opts.Progress},
+		func(worker, task int) error {
+			s := scratches[worker]
+			if s == nil {
+				s = x.NewScratch()
+				scratches[worker] = s
 			}
-		}(w)
+			v := graph.NodeID(task)
+			o := opts
+			if o.CostSamples > 0 {
+				// Derive a distinct, stable cost seed per node so the
+				// held-out estimates are independent across nodes.
+				o.CostSeed = rng.Mix64(opts.CostSeed ^ uint64(v))
+			}
+			out[v] = computeWithScratch(x, []graph.NodeID{v}, o, s)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for v := graph.NodeID(0); int(v) < n; v++ {
-		next <- v
-	}
-	close(next)
-	wg.Wait()
-	return out
+	return out, nil
 }

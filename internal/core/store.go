@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
 
+	"soi/internal/atomicfile"
 	"soi/internal/graph"
 )
 
@@ -22,24 +25,37 @@ import (
 //
 // Layout (little endian):
 //
-//	magic   [8]byte "SOISPH01"
+//	magic   [8]byte "SOISPH02"
 //	nodes   uint32            (spheres stored for every node, in id order)
 //	per node:
 //	  setLen       uint32
 //	  set          [setLen]int32
 //	  sampleCost   float64
 //	  expectedCost float64
+//	crc     uint32            CRC32-C (Castagnoli) of every preceding byte
+//
+// Version history: v01 ("SOISPH01") is the same layout without the CRC
+// footer; LoadSpheres still accepts it, SaveSpheres always produces v02.
 
-var sphereMagic = [8]byte{'S', 'O', 'I', 'S', 'P', 'H', '0', '1'}
+var (
+	sphereMagicV1 = [8]byte{'S', 'O', 'I', 'S', 'P', 'H', '0', '1'}
+	sphereMagicV2 = [8]byte{'S', 'O', 'I', 'S', 'P', 'H', '0', '2'}
+)
 
-// SaveSpheres writes the results of ComputeAll. Results must be indexed by
-// node id (results[v].Seeds == [v]), as ComputeAll produces.
+// sphereCastagnoli is the CRC32-C table for the sphere store.
+var sphereCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SaveSpheres writes the results of ComputeAll in the v02 (checksummed)
+// format. Results must be indexed by node id (results[v].Seeds == [v]), as
+// ComputeAll produces.
 func SaveSpheres(w io.Writer, results []Result) error {
 	bw := bufio.NewWriter(w)
-	if err := binary.Write(bw, binary.LittleEndian, sphereMagic); err != nil {
+	h := crc32.New(sphereCastagnoli)
+	body := io.MultiWriter(bw, h)
+	if err := binary.Write(body, binary.LittleEndian, sphereMagicV2); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(results))); err != nil {
+	if err := binary.Write(body, binary.LittleEndian, uint32(len(results))); err != nil {
 		return err
 	}
 	for v := range results {
@@ -47,35 +63,70 @@ func SaveSpheres(w io.Writer, results []Result) error {
 		if len(r.Seeds) != 1 || r.Seeds[0] != graph.NodeID(v) {
 			return fmt.Errorf("core: result %d is not the single-source sphere of node %d", v, v)
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(r.Set))); err != nil {
+		if err := binary.Write(body, binary.LittleEndian, uint32(len(r.Set))); err != nil {
 			return err
 		}
 		if len(r.Set) > 0 {
-			if err := binary.Write(bw, binary.LittleEndian, r.Set); err != nil {
+			if err := binary.Write(body, binary.LittleEndian, r.Set); err != nil {
 				return err
 			}
 		}
-		if err := binary.Write(bw, binary.LittleEndian, r.SampleCost); err != nil {
+		if err := binary.Write(body, binary.LittleEndian, r.SampleCost); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, r.ExpectedCost); err != nil {
+		if err := binary.Write(body, binary.LittleEndian, r.ExpectedCost); err != nil {
 			return err
 		}
+	}
+	// Footer: checksum of everything above, itself excluded.
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// LoadSpheres reads a sphere store. Results are indexed by node id; timing
-// fields are zero (they describe the original computation, not the load).
+// LoadSpheres reads a sphere store (v02 with checksum verification, or the
+// legacy v01 format without). Results are indexed by node id; timing fields
+// are zero (they describe the original computation, not the load).
 func LoadSpheres(r io.Reader) ([]Result, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
 		return nil, fmt.Errorf("core: read sphere magic: %w", err)
 	}
-	if m != sphereMagic {
+	var h hash.Hash32
+	var body io.Reader = br
+	switch m {
+	case sphereMagicV1:
+		// Legacy format: no checksum to verify.
+	case sphereMagicV2:
+		h = crc32.New(sphereCastagnoli)
+		h.Write(m[:]) // the writer hashed the magic too
+		body = io.TeeReader(br, h)
+	default:
 		return nil, fmt.Errorf("core: bad sphere-store magic %q", m[:])
 	}
+	out, err := loadSphereBody(body)
+	if err != nil {
+		return nil, err
+	}
+	if h != nil {
+		var stored uint32
+		if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+			return nil, fmt.Errorf("core: read sphere checksum footer: %w", err)
+		}
+		if sum := h.Sum32(); sum != stored {
+			return nil, fmt.Errorf("core: sphere-store checksum mismatch: file carries %08x, payload hashes to %08x (corrupted store)", stored, sum)
+		}
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("core: trailing data after sphere-store checksum footer")
+		}
+	}
+	return out, nil
+}
+
+// loadSphereBody parses the version-independent payload.
+func loadSphereBody(br io.Reader) ([]Result, error) {
 	var n uint32
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, err
@@ -141,17 +192,12 @@ func min32(a, b uint32) uint32 {
 	return b
 }
 
-// SaveSpheresFile writes the sphere store to path.
+// SaveSpheresFile writes the sphere store to path atomically (temp file +
+// rename), so an interrupted save never leaves a truncated store behind.
 func SaveSpheresFile(path string, results []Result) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := SaveSpheres(f, results); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		return SaveSpheres(w, results)
+	})
 }
 
 // LoadSpheresFile reads a sphere store from path.

@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -48,6 +49,10 @@ type Config struct {
 	Datasets []string
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
+	// Ctx, if non-nil, cancels the heavy compute phases (index builds):
+	// cmd/experiments passes the signal-bound context so Ctrl-C aborts a run
+	// promptly between worlds instead of finishing the experiment.
+	Ctx context.Context
 }
 
 func (c *Config) defaults() {
@@ -69,6 +74,9 @@ func (c *Config) defaults() {
 	if c.Out == nil {
 		c.Out = io.Discard
 	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 }
 
 func (c *Config) printf(format string, args ...interface{}) {
@@ -80,9 +88,17 @@ func (c *Config) loadDataset(name string) (*datasets.Dataset, error) {
 	return datasets.Load(name, datasets.Config{Scale: c.Scale, Seed: c.Seed})
 }
 
+// ctx returns the run's cancellation context (Background when unset).
+func (c *Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
 // buildIndex builds the method index for a dataset.
 func (c *Config) buildIndex(g *graph.Graph) (*index.Index, error) {
-	return index.Build(g, index.Options{
+	return index.BuildCtx(c.ctx(), g, index.Options{
 		Samples:             c.Samples,
 		Seed:                c.Seed ^ methodWorldTag,
 		TransitiveReduction: true,
@@ -91,7 +107,7 @@ func (c *Config) buildIndex(g *graph.Graph) (*index.Index, error) {
 
 // buildEvalIndex builds the held-out evaluation index (independent worlds).
 func (c *Config) buildEvalIndex(g *graph.Graph) (*index.Index, error) {
-	return index.Build(g, index.Options{
+	return index.BuildCtx(c.ctx(), g, index.Options{
 		Samples: c.EvalSamples,
 		Seed:    c.Seed ^ evalWorldTag,
 	})

@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"soi/internal/atomicfile"
 )
 
 // The on-disk format is one edge per line:
@@ -106,15 +108,10 @@ func LoadFile(path string) (*Graph, []int64, error) {
 	return ReadTSV(f)
 }
 
-// SaveFile writes g to the file at path, creating or truncating it.
+// SaveFile writes g to the file at path atomically (temp file + rename), so
+// an interrupted save never leaves a truncated edge list behind.
 func SaveFile(path string, g *Graph, origIDs []int64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteTSV(f, g, origIDs); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		return WriteTSV(w, g, origIDs)
+	})
 }

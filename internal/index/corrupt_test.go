@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"soi/internal/graph"
 	"soi/internal/rng"
 )
 
@@ -48,6 +49,96 @@ func TestReadSurvivesRandomCorruption(t *testing.T) {
 				_ = idx.Cascade(0, i, s, nil)
 			}
 		}()
+	}
+}
+
+// TestReadDetectsEveryBitFlip flips every single bit of a v02 index file in
+// turn and requires Read to reject each corrupted copy. This is the property
+// the CRC32-C footer buys: the structural validators alone cannot catch a
+// flip that leaves every count and id in range (a successor id changed to
+// another valid id, say), but the checksum catches all of them.
+func TestReadDetectsEveryBitFlip(t *testing.T) {
+	g := randomGraph(t, 116, 12, 40)
+	x, err := Build(g, Options{Samples: 2, Seed: 117})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for pos := range clean {
+		for bit := 0; bit < 8; bit++ {
+			data := append([]byte(nil), clean...)
+			data[pos] ^= 1 << bit
+			if _, err := Read(bytes.NewReader(data), g); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d was accepted", pos, bit)
+			}
+		}
+	}
+}
+
+// TestReadRejectsTrailingData checks a v02 stream with bytes appended after
+// the checksum footer fails to load.
+func TestReadRejectsTrailingData(t *testing.T) {
+	g := randomGraph(t, 116, 12, 40)
+	x, err := Build(g, Options{Samples: 2, Seed: 117})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append(buf.Bytes(), 0x00)
+	if _, err := Read(bytes.NewReader(data), g); err == nil {
+		t.Fatal("accepted trailing data after the checksum footer")
+	}
+}
+
+// TestReadAcceptsV01 checks back-compat with the pre-checksum format: a v01
+// file (the v02 bytes minus the footer, magic patched) must load, answer the
+// same queries, and re-serialize as a valid v02 file.
+func TestReadAcceptsV01(t *testing.T) {
+	g := randomGraph(t, 118, 20, 60)
+	x, err := Build(g, Options{Samples: 3, Seed: 119, TransitiveReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	v1 := append([]byte(nil), v2[:len(v2)-4]...)
+	copy(v1, magicV1[:])
+
+	loaded, err := Read(bytes.NewReader(v1), g)
+	if err != nil {
+		t.Fatalf("v01 stream rejected: %v", err)
+	}
+	if loaded.NumWorlds() != x.NumWorlds() {
+		t.Fatalf("v01 load has %d worlds, want %d", loaded.NumWorlds(), x.NumWorlds())
+	}
+	sa, sb := x.NewScratch(), loaded.NewScratch()
+	for w := 0; w < x.NumWorlds(); w++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			a := x.Cascade(graph.NodeID(v), w, sa, nil)
+			b := loaded.Cascade(graph.NodeID(v), w, sb, nil)
+			if !equal(a, b) {
+				t.Fatalf("world %d node %d: v01 cascade differs", w, v)
+			}
+		}
+	}
+
+	// v01 -> v02 round trip: re-serializing upgrades the format.
+	var up bytes.Buffer
+	if _, err := loaded.WriteTo(&up); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(up.Bytes(), v2) {
+		t.Fatal("v01 -> v02 round trip did not reproduce the original v02 bytes")
 	}
 }
 

@@ -18,8 +18,17 @@ func FuzzRead(f *testing.F) {
 	if _, err := x.WriteTo(&buf); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()) // valid v02 (CRC32-C footer)
+	// Same payload as the legacy v01 format: footer stripped, magic patched.
+	v1 := append([]byte(nil), buf.Bytes()[:buf.Len()-4]...)
+	copy(v1, magicV1[:])
+	f.Add(v1)
+	// v02 with a corrupted checksum footer.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[len(bad)-1] ^= 0xFF
+	f.Add(bad)
 	f.Add([]byte("SOIIDX01"))
+	f.Add([]byte("SOIIDX02"))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {

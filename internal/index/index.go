@@ -13,12 +13,12 @@
 package index
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"soi/internal/graph"
+	"soi/internal/pool"
 	"soi/internal/rng"
 	"soi/internal/scc"
 	"soi/internal/worlds"
@@ -47,8 +47,13 @@ type Options struct {
 	Samples int
 	// Seed drives the deterministic sampling of worlds.
 	Seed uint64
-	// Workers bounds build parallelism; 0 means GOMAXPROCS.
+	// Workers bounds build parallelism; zero and negative values both mean
+	// GOMAXPROCS (the convention shared by every Workers knob in this
+	// library).
 	Workers int
+	// Progress, if non-nil, is called after each world is indexed with
+	// (done, total). Calls are serialized.
+	Progress func(done, total int)
 	// TransitiveReduction applies the Aho–Garey–Ullman reduction to each
 	// condensation (the paper's space optimization). Costs build time,
 	// saves index space and query edge traversals.
@@ -75,8 +80,18 @@ type Index struct {
 	entries []worldEntry
 }
 
-// Build samples opts.Samples possible worlds of g and indexes them.
+// Build samples opts.Samples possible worlds of g and indexes them. It is
+// BuildCtx under context.Background().
 func Build(g *graph.Graph, opts Options) (*Index, error) {
+	return BuildCtx(context.Background(), g, opts)
+}
+
+// BuildCtx is Build with cooperative cancellation: worker goroutines check
+// ctx between worlds, so a canceled or expired context makes BuildCtx return
+// ctx.Err() promptly instead of finishing all ℓ worlds. A panic in a worker
+// is recovered and returned as a *pool.PanicError rather than crashing the
+// process.
+func BuildCtx(ctx context.Context, g *graph.Graph, opts Options) (*Index, error) {
 	if opts.Samples < 1 {
 		return nil, fmt.Errorf("index: Samples must be >= 1, got %d", opts.Samples)
 	}
@@ -88,13 +103,6 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 		// without synchronization.
 		g.Reverse()
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opts.Samples {
-		workers = opts.Samples
-	}
 
 	idx := &Index{g: g, entries: make([]worldEntry, opts.Samples)}
 	master := rng.New(opts.Seed)
@@ -105,22 +113,14 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 		gens[i] = master.Split(uint64(i))
 	}
 
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				idx.entries[i] = buildEntry(g, gens[i], opts)
-			}
-		}()
+	err := pool.Run(ctx, opts.Samples, pool.Options{Workers: opts.Workers, Progress: opts.Progress},
+		func(_, i int) error {
+			idx.entries[i] = buildEntry(g, gens[i], opts)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < opts.Samples; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	return idx, nil
 }
 

@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"os"
 
+	"soi/internal/atomicfile"
 	"soi/internal/graph"
 	"soi/internal/scc"
 )
@@ -18,30 +21,45 @@ import (
 //
 // Layout (little endian):
 //
-//	magic   [8]byte  "SOIIDX01"
+//	magic   [8]byte  "SOIIDX02"
 //	nodes   uint32
 //	worlds  uint32
 //	per world:
 //	  comps   uint32
 //	  comp    [nodes]int32        node -> component
 //	  per component: deg uint32, then deg int32 successor ids
+//	crc     uint32   CRC32-C (Castagnoli) of every preceding byte,
+//	                 magic included
 //
 // The members CSR is rebuilt from comp at load time (cheaper than storing).
+//
+// Version history: v01 ("SOIIDX01") is the same layout without the CRC
+// footer; Read still accepts it, Write always produces v02. The checksum
+// catches the corruption class the structural validators cannot: bit flips
+// that leave every count and id in range but silently change query results.
 
-var magic = [8]byte{'S', 'O', 'I', 'I', 'D', 'X', '0', '1'}
+var (
+	magicV1 = [8]byte{'S', 'O', 'I', 'I', 'D', 'X', '0', '1'}
+	magicV2 = [8]byte{'S', 'O', 'I', 'I', 'D', 'X', '0', '2'}
+)
 
-// WriteTo serializes the index.
+// castagnoli is the CRC32-C table shared by the index and sphere stores.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteTo serializes the index in the v02 (checksummed) format.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
+	h := crc32.New(castagnoli)
+	body := io.MultiWriter(bw, h)
 	var written int64
 	put := func(v any) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(body, binary.LittleEndian, v); err != nil {
 			return err
 		}
 		written += int64(binary.Size(v))
 		return nil
 	}
-	if err := put(magic); err != nil {
+	if err := put(magicV2); err != nil {
 		return written, err
 	}
 	if err := put(uint32(x.g.NumNodes())); err != nil {
@@ -69,22 +87,60 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
+	// Footer: checksum of everything above, itself excluded.
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return written, err
+	}
+	written += 4
 	return written, bw.Flush()
 }
 
-// Read deserializes an index previously written with WriteTo. The graph g
-// must be the same graph the index was built from (node count is checked;
-// deeper mismatches surface as wrong query results, so callers should keep
-// graph and index files paired).
+// Read deserializes an index previously written with WriteTo. Both the
+// current v02 format (whose CRC32-C footer is verified) and the legacy v01
+// format (no checksum) are accepted. The graph g must be the same graph the
+// index was built from (node count is checked; deeper mismatches surface as
+// wrong query results, so callers should keep graph and index files paired).
 func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
 		return nil, fmt.Errorf("index: read magic: %w", err)
 	}
-	if m != magic {
+	var h hash.Hash32
+	var body io.Reader = br
+	switch m {
+	case magicV1:
+		// Legacy format: no checksum to verify.
+	case magicV2:
+		h = crc32.New(castagnoli)
+		h.Write(m[:]) // the writer hashed the magic too
+		body = io.TeeReader(br, h)
+	default:
 		return nil, fmt.Errorf("index: bad magic %q", m[:])
 	}
+
+	x, err := readBody(body, g)
+	if err != nil {
+		return nil, err
+	}
+	if h != nil {
+		var stored uint32
+		if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+			return nil, fmt.Errorf("index: read checksum footer: %w", err)
+		}
+		if sum := h.Sum32(); sum != stored {
+			return nil, fmt.Errorf("index: checksum mismatch: file carries %08x, payload hashes to %08x (corrupted index file)", stored, sum)
+		}
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("index: trailing data after checksum footer")
+		}
+	}
+	return x, nil
+}
+
+// readBody parses the version-independent payload (everything between magic
+// and footer).
+func readBody(br io.Reader, g *graph.Graph) (*Index, error) {
 	var nodes, nWorlds uint32
 	if err := binary.Read(br, binary.LittleEndian, &nodes); err != nil {
 		return nil, err
@@ -173,17 +229,13 @@ func rebuildEntry(comp []int32, numComps int, dag scc.SliceGraph) worldEntry {
 	return worldEntry{comp: comp, memberOff: off, members: members, dag: dag}
 }
 
-// SaveFile writes the index to path.
+// SaveFile writes the index to path atomically (temp file + rename), so an
+// interrupted save never leaves a truncated index behind.
 func (x *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := x.WriteTo(w)
 		return err
-	}
-	if _, err := x.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // LoadFile reads an index for graph g from path.

@@ -14,6 +14,7 @@ package infmax
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"soi/internal/graph"
@@ -77,31 +78,60 @@ func (q *celfQueue) Pop() interface{} {
 // gain must return the current marginal gain of a node; commit must apply
 // the selection. For a submodular objective the result equals naive greedy.
 func celfGreedy(n, k int, gain func(graph.NodeID) float64, commit func(graph.NodeID) float64) Selection {
+	sel, _ := celfGreedyCtx(context.Background(), n, k,
+		func(v graph.NodeID) (float64, error) { return gain(v), nil },
+		func(v graph.NodeID) (float64, error) { return commit(v), nil })
+	return sel
+}
+
+// celfGreedyCtx is celfGreedy over fallible, cancelable objectives: ctx is
+// checked before every gain evaluation, and the first error (or ctx.Err())
+// aborts the selection. On error the partial selection built so far is
+// returned alongside it; callers normally discard it.
+func celfGreedyCtx(ctx context.Context, n, k int,
+	gain func(graph.NodeID) (float64, error), commit func(graph.NodeID) (float64, error)) (Selection, error) {
 	if k > n {
 		k = n
 	}
 	sel := Selection{Seeds: make([]graph.NodeID, 0, k), Gains: make([]float64, 0, k)}
 	q := make(celfQueue, 0, n)
 	for v := 0; v < n; v++ {
-		q = append(q, celfItem{node: graph.NodeID(v), gain: gain(graph.NodeID(v)), round: 0})
+		if err := ctx.Err(); err != nil {
+			return sel, err
+		}
+		g, err := gain(graph.NodeID(v))
+		if err != nil {
+			return sel, err
+		}
+		q = append(q, celfItem{node: graph.NodeID(v), gain: g, round: 0})
 		sel.LazyEvaluations++
 	}
 	heap.Init(&q)
 	for round := 1; round <= k && len(q) > 0; {
+		if err := ctx.Err(); err != nil {
+			return sel, err
+		}
 		top := heap.Pop(&q).(celfItem)
 		if top.round == round {
-			realized := commit(top.node)
+			realized, err := commit(top.node)
+			if err != nil {
+				return sel, err
+			}
 			sel.Seeds = append(sel.Seeds, top.node)
 			sel.Gains = append(sel.Gains, realized)
 			round++
 			continue
 		}
-		top.gain = gain(top.node)
+		g, err := gain(top.node)
+		if err != nil {
+			return sel, err
+		}
+		top.gain = g
 		top.round = round
 		sel.LazyEvaluations++
 		heap.Push(&q, top)
 	}
-	return sel
+	return sel, nil
 }
 
 // naiveGreedy evaluates every candidate each round; used by the CELF

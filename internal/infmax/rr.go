@@ -1,6 +1,7 @@
 package infmax
 
 import (
+	"context"
 	"fmt"
 
 	"soi/internal/graph"
@@ -29,8 +30,16 @@ type RROptions struct {
 
 // RR selects k seeds by greedy max-cover over opts.Sets sampled
 // reverse-reachable sets. Gains are in expected-spread units
-// (n · covered/Sets).
+// (n · covered/Sets). It is RRCtx under context.Background().
 func RR(g *graph.Graph, k int, opts RROptions) (Selection, error) {
+	return RRCtx(context.Background(), g, k, opts)
+}
+
+// RRCtx is RR with cooperative cancellation: ctx is checked between RR-set
+// samples and between greedy rounds, so a canceled context returns ctx.Err()
+// promptly — exactly the "stoppable sampler" discipline RR-sketch methods
+// presume.
+func RRCtx(ctx context.Context, g *graph.Graph, k int, opts RROptions) (Selection, error) {
 	if err := validateK(k, g.NumNodes()); err != nil {
 		return Selection{}, err
 	}
@@ -48,6 +57,9 @@ func RR(g *graph.Graph, k int, opts RROptions) (Selection, error) {
 	var setNodes []graph.NodeID
 	var buf []graph.NodeID
 	for i := 0; i < opts.Sets; i++ {
+		if err := ctx.Err(); err != nil {
+			return Selection{}, err
+		}
 		r := master.Split(uint64(i))
 		target := graph.NodeID(r.Intn(n))
 		// Reverse live-edge BFS: nodes that can reach target forward are
@@ -73,6 +85,9 @@ func RR(g *graph.Graph, k int, opts RROptions) (Selection, error) {
 		k = n
 	}
 	for round := 0; round < k; round++ {
+		if err := ctx.Err(); err != nil {
+			return Selection{}, err
+		}
 		best := graph.NodeID(-1)
 		var bestCount int32 = -1
 		for v := 0; v < n; v++ {

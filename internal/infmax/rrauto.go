@@ -1,6 +1,7 @@
 package infmax
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,8 +34,16 @@ type RRAutoOptions struct {
 
 // RRAuto selects k seeds with the RR sketch, choosing the number of RR sets
 // automatically from the graph via TIM's KPT estimation. It returns the
-// selection and the θ it settled on.
+// selection and the θ it settled on. It is RRAutoCtx under
+// context.Background().
 func RRAuto(g *graph.Graph, k int, opts RRAutoOptions) (Selection, int, error) {
+	return RRAutoCtx(context.Background(), g, k, opts)
+}
+
+// RRAutoCtx is RRAuto with cooperative cancellation: ctx is checked during
+// both TIM phases (KPT estimation and the θ-sized RR sampling), so a
+// canceled context returns ctx.Err() promptly.
+func RRAutoCtx(ctx context.Context, g *graph.Graph, k int, opts RRAutoOptions) (Selection, int, error) {
 	if err := validateK(k, g.NumNodes()); err != nil {
 		return Selection{}, 0, err
 	}
@@ -49,11 +58,14 @@ func RRAuto(g *graph.Graph, k int, opts RRAutoOptions) (Selection, int, error) {
 	m := g.NumEdges()
 	if m == 0 {
 		// Edgeless graph: any k nodes, one RR set per node suffices.
-		sel, err := RR(g, k, RROptions{Sets: n, Seed: opts.Seed})
+		sel, err := RRCtx(ctx, g, k, RROptions{Sets: n, Seed: opts.Seed})
 		return sel, n, err
 	}
 
-	kpt := estimateKPT(g, k, opts.Seed)
+	kpt, err := estimateKPT(ctx, g, k, opts.Seed)
+	if err != nil {
+		return Selection{}, 0, err
+	}
 	lambda := (8 + 2*opts.Epsilon) * float64(n) *
 		(math.Log(float64(n)) + logChoose(n, k) + math.Ln2) /
 		(opts.Epsilon * opts.Epsilon)
@@ -64,7 +76,7 @@ func RRAuto(g *graph.Graph, k int, opts RRAutoOptions) (Selection, int, error) {
 	if theta > maxSets {
 		theta = maxSets
 	}
-	sel, err := RR(g, k, RROptions{Sets: theta, Seed: opts.Seed ^ 0x7133})
+	sel, err := RRCtx(ctx, g, k, RROptions{Sets: theta, Seed: opts.Seed ^ 0x7133})
 	return sel, theta, err
 }
 
@@ -72,7 +84,8 @@ func RRAuto(g *graph.Graph, k int, opts RRAutoOptions) (Selection, int, error) {
 // i = 1.. it draws c_i RR sets; the width statistic κ(R) = 1-(1-w(R)/m)^k
 // (w = total in-degree of the RR set) has mean ≥ KPT/n when KPT is large.
 // The first round whose mean statistic exceeds 2^(-i) yields the estimate.
-func estimateKPT(g *graph.Graph, k int, seed uint64) float64 {
+// ctx is checked between RR-set draws.
+func estimateKPT(ctx context.Context, g *graph.Graph, k int, seed uint64) (float64, error) {
 	n := g.NumNodes()
 	m := float64(g.NumEdges())
 	rev := g.Reverse()
@@ -90,6 +103,9 @@ func estimateKPT(g *graph.Graph, k int, seed uint64) float64 {
 		}
 		sum := 0.0
 		for j := 0; j < ci; j++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			drawn++
 			r := master.Split(drawn)
 			target := graph.NodeID(r.Intn(n))
@@ -102,10 +118,10 @@ func estimateKPT(g *graph.Graph, k int, seed uint64) float64 {
 			sum += kappa
 		}
 		if mean := sum / float64(ci); mean > 1/math.Pow(2, float64(i)) {
-			return float64(n) * mean / 2
+			return float64(n) * mean / 2, nil
 		}
 	}
-	return 1 // subcritical fallback: every cascade is about a single node
+	return 1, nil // subcritical fallback: every cascade is about a single node
 }
 
 // logChoose returns ln C(n, k) via the log-gamma-free telescoping product.

@@ -1,6 +1,7 @@
 package infmax
 
 import (
+	"context"
 	"fmt"
 
 	"soi/internal/cascade"
@@ -32,6 +33,7 @@ func (o *MCOptions) validate() error {
 
 // mcState evaluates σ̂(S ∪ {v}) with fresh simulations per call.
 type mcState struct {
+	ctx     context.Context
 	g       *graph.Graph
 	opts    MCOptions
 	seeds   []graph.NodeID
@@ -39,21 +41,43 @@ type mcState struct {
 	evalCtr uint64
 }
 
-func (m *mcState) gain(v graph.NodeID) float64 {
+func (m *mcState) gainErr(v graph.NodeID) (float64, error) {
 	m.evalCtr++
-	est := cascade.ExpectedSpread(m.g, append(m.seeds, v), m.opts.Trials,
+	est, err := cascade.ExpectedSpreadCtx(m.ctx, m.g, append(m.seeds, v), m.opts.Trials,
 		rng.Mix64(m.opts.Seed^m.evalCtr), m.opts.Workers)
-	return est - m.sigmaS
+	return est - m.sigmaS, err
 }
 
-func (m *mcState) commit(v graph.NodeID) float64 {
+func (m *mcState) commitErr(v graph.NodeID) (float64, error) {
 	m.evalCtr++
-	est := cascade.ExpectedSpread(m.g, append(m.seeds, v), m.opts.Trials,
+	est, err := cascade.ExpectedSpreadCtx(m.ctx, m.g, append(m.seeds, v), m.opts.Trials,
 		rng.Mix64(m.opts.Seed^m.evalCtr), m.opts.Workers)
+	if err != nil {
+		return 0, err
+	}
 	gain := est - m.sigmaS
 	m.sigmaS = est
 	m.seeds = append(m.seeds, v)
-	return gain
+	return gain, nil
+}
+
+// gain and commit adapt the fallible evaluators for the naive greedy, which
+// runs under context.Background() where the only possible error is a
+// recovered worker panic — re-raised to preserve the historical contract.
+func (m *mcState) gain(v graph.NodeID) float64 {
+	g, err := m.gainErr(v)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (m *mcState) commit(v graph.NodeID) float64 {
+	g, err := m.commitErr(v)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // StdMC is the paper's InfMax_std: greedy influence maximization where each
@@ -64,14 +88,25 @@ func (m *mcState) commit(v graph.NodeID) float64 {
 // greedy's choices become effectively random among the top candidates — the
 // saturation the paper's Figure 7 measures.
 func StdMC(g *graph.Graph, k int, opts MCOptions) (Selection, error) {
+	return StdMCCtx(context.Background(), g, k, opts)
+}
+
+// StdMCCtx is StdMC with cooperative cancellation: ctx is checked before
+// every marginal-gain evaluation and inside the Monte-Carlo simulation
+// workers, so a canceled context aborts the greedy promptly with ctx.Err().
+func StdMCCtx(ctx context.Context, g *graph.Graph, k int, opts MCOptions) (Selection, error) {
 	if err := validateK(k, g.NumNodes()); err != nil {
 		return Selection{}, err
 	}
 	if err := opts.validate(); err != nil {
 		return Selection{}, err
 	}
-	m := &mcState{g: g, opts: opts}
-	return celfGreedy(g.NumNodes(), k, m.gain, m.commit), nil
+	m := &mcState{ctx: ctx, g: g, opts: opts}
+	sel, err := celfGreedyCtx(ctx, g.NumNodes(), k, m.gainErr, m.commitErr)
+	if err != nil {
+		return Selection{}, err
+	}
+	return sel, nil
 }
 
 // StdMCNaive is StdMC without CELF: every candidate is re-evaluated each
@@ -85,7 +120,7 @@ func StdMCNaive(g *graph.Graph, k int, opts MCOptions, onRound func(round int, s
 	if err := opts.validate(); err != nil {
 		return Selection{}, err
 	}
-	m := &mcState{g: g, opts: opts}
+	m := &mcState{ctx: context.Background(), g: g, opts: opts}
 	return naiveGreedy(g.NumNodes(), k, m.gain, m.commit, onRound), nil
 }
 

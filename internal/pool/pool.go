@@ -1,0 +1,143 @@
+// Package pool is the shared worker pool behind every parallel compute path
+// in the library (index building, typical-cascade batches, Monte-Carlo
+// spread estimation). It adds three behaviours the hand-rolled
+// sync.WaitGroup loops it replaced did not have:
+//
+//  1. cooperative cancellation — workers observe ctx between tasks and the
+//     pool returns ctx.Err() promptly instead of running to completion;
+//  2. panic isolation — a panic in a worker is recovered and converted into
+//     a *PanicError carrying the stack, instead of crashing the process; and
+//  3. progress — an optional serialized callback reporting (done, total).
+//
+// The pool hands out task indices 0..total-1 from a shared atomic cursor, so
+// work distribution is dynamic (no worker is stuck behind a straggler's
+// pre-assigned stripe). Callers that need per-worker scratch state index it
+// by the worker id passed to fn.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError is a worker panic converted into an error. The pool guarantees
+// the process does not crash; callers decide whether to surface, log, or
+// re-panic.
+type PanicError struct {
+	// Value is the value the worker panicked with.
+	Value any
+	// Task is the task index that panicked.
+	Task int
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: worker panic on task %d: %v\n%s", e.Task, e.Value, e.Stack)
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds parallelism. Zero and negative values both select
+	// GOMAXPROCS — the library-wide convention for every Workers knob.
+	Workers int
+	// Progress, if non-nil, is called after each completed task with the
+	// number of tasks done so far and the total. Calls are serialized (the
+	// callback needs no locking) but may be invoked from any worker.
+	Progress func(done, total int)
+}
+
+// Workers normalizes a requested worker count against a task count: values
+// <= 0 (including negatives) select GOMAXPROCS, and the result never
+// exceeds tasks (when tasks > 0) nor drops below 1.
+func Workers(requested, tasks int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if tasks > 0 && w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(worker, task) for every task in 0..total-1 across a pool
+// of workers. It returns nil when all tasks complete, ctx.Err() when the
+// context is canceled first, or the first task error (including recovered
+// panics as *PanicError). After the first error or cancellation no new
+// tasks are started; in-flight tasks finish before Run returns, so fn is
+// never running when Run has returned and no goroutines are leaked.
+func Run(ctx context.Context, total int, opts Options, fn func(worker, task int) error) error {
+	if total <= 0 {
+		return ctx.Err()
+	}
+	workers := Workers(opts.Workers, total)
+
+	var (
+		cursor atomic.Int64 // next task to hand out
+		done   atomic.Int64
+		stop   atomic.Bool
+		errMu  sync.Mutex
+		first  error
+		progMu sync.Mutex
+		wg     sync.WaitGroup
+	)
+	cursor.Store(-1)
+	record := func(err error) {
+		stop.Store(true)
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					record(err)
+					return
+				}
+				task := int(cursor.Add(1))
+				if task >= total {
+					return
+				}
+				if err := runTask(fn, w, task); err != nil {
+					record(err)
+					return
+				}
+				d := int(done.Add(1))
+				if opts.Progress != nil {
+					progMu.Lock()
+					opts.Progress(d, total)
+					progMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return first
+}
+
+// runTask invokes fn with panic recovery.
+func runTask(fn func(worker, task int) error, worker, task int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Task: task, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, task)
+}

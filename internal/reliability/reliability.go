@@ -10,6 +10,7 @@
 package reliability
 
 import (
+	"context"
 	"fmt"
 
 	"soi/internal/graph"
@@ -28,8 +29,15 @@ func ST(g *graph.Graph, s, t graph.NodeID, samples int, seed uint64) (float64, e
 }
 
 // FromSource estimates, for every node v, the probability that v is
-// reachable from the source set. The result is indexed by node id.
+// reachable from the source set. The result is indexed by node id. It is
+// FromSourceCtx under context.Background().
 func FromSource(g *graph.Graph, sources []graph.NodeID, samples int, seed uint64) ([]float64, error) {
+	return FromSourceCtx(context.Background(), g, sources, samples, seed)
+}
+
+// FromSourceCtx is FromSource with cooperative cancellation: ctx is checked
+// between cascade samples, so a canceled context returns ctx.Err() promptly.
+func FromSourceCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, samples int, seed uint64) ([]float64, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("reliability: samples must be >= 1, got %d", samples)
 	}
@@ -46,6 +54,9 @@ func FromSource(g *graph.Graph, sources []graph.NodeID, samples int, seed uint64
 	master := rng.New(seed)
 	var buf []graph.NodeID
 	for i := 0; i < samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		buf = worlds.SampleCascadeFromSet(g, sources, master.Split(uint64(i)), visited, buf[:0])
 		for _, v := range buf {
 			counts[v]++
@@ -60,11 +71,18 @@ func FromSource(g *graph.Graph, sources []graph.NodeID, samples int, seed uint64
 
 // Search returns the nodes reachable from the source set with estimated
 // probability >= threshold, sorted by id (the reliability-search query).
+// It is SearchCtx under context.Background().
 func Search(g *graph.Graph, sources []graph.NodeID, threshold float64, samples int, seed uint64) ([]graph.NodeID, error) {
+	return SearchCtx(context.Background(), g, sources, threshold, samples, seed)
+}
+
+// SearchCtx is Search with cooperative cancellation: ctx is checked between
+// the underlying cascade samples.
+func SearchCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, threshold float64, samples int, seed uint64) ([]graph.NodeID, error) {
 	if threshold <= 0 || threshold > 1 {
 		return nil, fmt.Errorf("reliability: threshold %v outside (0,1]", threshold)
 	}
-	probs, err := FromSource(g, sources, samples, seed)
+	probs, err := FromSourceCtx(ctx, g, sources, samples, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,49 @@
+package soi
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCtxFacadeHonorsCancellation drives every context-accepting facade API
+// with an already-canceled context: each must return context.Canceled
+// immediately instead of doing any work.
+func TestCtxFacadeHonorsCancellation(t *testing.T) {
+	topo, err := Generate(GenConfig{Model: "ba", N: 80, M: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := WeightedCascade(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(g, IndexOptions{Samples: 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	requireCanceled := func(api string, err error) {
+		t.Helper()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", api, err)
+		}
+	}
+
+	_, err = BuildIndexCtx(ctx, g, IndexOptions{Samples: 20, Seed: 9})
+	requireCanceled("BuildIndexCtx", err)
+	_, err = AllTypicalCascadesCtx(ctx, idx, TypicalOptions{})
+	requireCanceled("AllTypicalCascadesCtx", err)
+	_, err = ExpectedSpreadCtx(ctx, g, []NodeID{0}, 100, 10)
+	requireCanceled("ExpectedSpreadCtx", err)
+	_, err = SelectSeedsStdMCCtx(ctx, g, 2, MCOptions{Trials: 50, Seed: 11})
+	requireCanceled("SelectSeedsStdMCCtx", err)
+	_, err = SelectSeedsRRCtx(ctx, g, 2, RROptions{Sets: 100, Seed: 12})
+	requireCanceled("SelectSeedsRRCtx", err)
+	_, _, err = SelectSeedsRRAutoCtx(ctx, g, 2, RRAutoOptions{Epsilon: 0.3, Seed: 13})
+	requireCanceled("SelectSeedsRRAutoCtx", err)
+	_, err = ReliabilitySearchCtx(ctx, g, []NodeID{0}, 0.5, 100, 14)
+	requireCanceled("ReliabilitySearchCtx", err)
+}

@@ -25,6 +25,7 @@
 package soi
 
 import (
+	"context"
 	"io"
 
 	"soi/internal/cascade"
@@ -91,6 +92,14 @@ const (
 // BuildIndex samples opts.Samples possible worlds of g and indexes them.
 func BuildIndex(g *Graph, opts IndexOptions) (*Index, error) { return index.Build(g, opts) }
 
+// BuildIndexCtx is BuildIndex with cooperative cancellation: build workers
+// check ctx between worlds and a canceled or expired context returns
+// ctx.Err() promptly. Worker panics are recovered and returned as errors
+// carrying the stack instead of crashing the process.
+func BuildIndexCtx(ctx context.Context, g *Graph, opts IndexOptions) (*Index, error) {
+	return index.BuildCtx(ctx, g, opts)
+}
+
 // LoadIndex reads a serialized index for graph g.
 func LoadIndex(path string, g *Graph) (*Index, error) { return index.LoadFile(path, g) }
 
@@ -123,6 +132,13 @@ func SeedSetTypicalCascade(x *Index, seeds []NodeID, opts TypicalOptions) Sphere
 // (Algorithm 2), in parallel.
 func AllTypicalCascades(x *Index, opts TypicalOptions) []Sphere {
 	return core.ComputeAll(x, opts)
+}
+
+// AllTypicalCascadesCtx is AllTypicalCascades with cooperative cancellation:
+// workers check ctx between nodes and a canceled context returns ctx.Err()
+// promptly with a nil result. Worker panics are recovered into errors.
+func AllTypicalCascadesCtx(ctx context.Context, x *Index, opts TypicalOptions) ([]Sphere, error) {
+	return core.ComputeAllCtx(ctx, x, opts)
 }
 
 // SaveSpheres / LoadSpheres persist the results of AllTypicalCascades, the
@@ -178,6 +194,12 @@ func ExpectedSpread(g *Graph, seeds []NodeID, trials int, seed uint64) float64 {
 	return cascade.ExpectedSpread(g, seeds, trials, seed, 0)
 }
 
+// ExpectedSpreadCtx is ExpectedSpread with cooperative cancellation: the
+// simulation workers check ctx between trials.
+func ExpectedSpreadCtx(ctx context.Context, g *Graph, seeds []NodeID, trials int, seed uint64) (float64, error) {
+	return cascade.ExpectedSpreadCtx(ctx, g, seeds, trials, seed, 0)
+}
+
 // SpreadFromIndex estimates σ(seeds) over the worlds of a prebuilt index,
 // the shared-sample estimator both influence-maximization methods use.
 func SpreadFromIndex(x *Index, seeds []NodeID, s *IndexScratch) float64 {
@@ -220,6 +242,13 @@ func SelectSeedsStdMC(g *Graph, k int, opts MCOptions) (Selection, error) {
 	return infmax.StdMC(g, k, opts)
 }
 
+// SelectSeedsStdMCCtx is SelectSeedsStdMC with cooperative cancellation: ctx
+// is checked before every marginal-gain evaluation and between Monte-Carlo
+// trials, so a canceled context aborts the greedy promptly with ctx.Err().
+func SelectSeedsStdMCCtx(ctx context.Context, g *Graph, k int, opts MCOptions) (Selection, error) {
+	return infmax.StdMCCtx(ctx, g, k, opts)
+}
+
 // SelectSeedsTC runs the paper's InfMax_TC (Algorithm 3): greedy maximum
 // coverage over the spheres of influence.
 func SelectSeedsTC(g *Graph, spheres Spheres, k int) (Selection, error) {
@@ -235,6 +264,12 @@ func SelectSeedsRR(g *Graph, k int, opts RROptions) (Selection, error) {
 	return infmax.RR(g, k, opts)
 }
 
+// SelectSeedsRRCtx is SelectSeedsRR with cooperative cancellation: ctx is
+// checked between RR-set samples and greedy rounds.
+func SelectSeedsRRCtx(ctx context.Context, g *Graph, k int, opts RROptions) (Selection, error) {
+	return infmax.RRCtx(ctx, g, k, opts)
+}
+
 // RRAutoOptions configures the self-budgeting RR method.
 type RRAutoOptions = infmax.RRAutoOptions
 
@@ -244,6 +279,12 @@ type RRAutoOptions = infmax.RRAutoOptions
 // and the θ chosen.
 func SelectSeedsRRAuto(g *Graph, k int, opts RRAutoOptions) (Selection, int, error) {
 	return infmax.RRAuto(g, k, opts)
+}
+
+// SelectSeedsRRAutoCtx is SelectSeedsRRAuto with cooperative cancellation:
+// ctx is checked during both TIM phases (KPT estimation and RR sampling).
+func SelectSeedsRRAutoCtx(ctx context.Context, g *Graph, k int, opts RRAutoOptions) (Selection, int, error) {
+	return infmax.RRAutoCtx(ctx, g, k, opts)
 }
 
 // SelectSeedsDegree and SelectSeedsRandom are the classical baselines.
@@ -331,6 +372,12 @@ func Reliability(g *Graph, s, t NodeID, samples int, seed uint64) (float64, erro
 // probability at least threshold.
 func ReliabilitySearch(g *Graph, sources []NodeID, threshold float64, samples int, seed uint64) ([]NodeID, error) {
 	return reliability.Search(g, sources, threshold, samples, seed)
+}
+
+// ReliabilitySearchCtx is ReliabilitySearch with cooperative cancellation:
+// ctx is checked between the underlying cascade samples.
+func ReliabilitySearchCtx(ctx context.Context, g *Graph, sources []NodeID, threshold float64, samples int, seed uint64) ([]NodeID, error) {
+	return reliability.SearchCtx(ctx, g, sources, threshold, samples, seed)
 }
 
 // Dataset is one of the paper's 12 experimental configurations materialized
