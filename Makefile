@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fmt all
+.PHONY: build test race vet bench fmt fuzz-smoke all
 
 all: build vet test
 
@@ -18,6 +18,16 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Short fuzz runs over every binary-format decoder (graph TSV, index v02,
+# checkpoint SOICKP01). Each gets its own `go test` invocation because -fuzz
+# accepts a single target per run. FUZZTIME is per decoder.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzReadTSV -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/index
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
 fmt:
 	gofmt -w .

@@ -6,13 +6,14 @@ import (
 	"path/filepath"
 	"testing"
 
+	"soi/internal/checkpoint"
 	"soi/internal/graph"
 	"soi/internal/proplog"
 )
 
 func TestRunAssignedDataset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), []string{"nethept-W"}, 0.05, 0, dir); err != nil {
+	if err := run(context.Background(), []string{"nethept-W"}, 0.05, 0, dir, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	gp := filepath.Join(dir, "nethept-W.graph.tsv")
@@ -31,7 +32,7 @@ func TestRunAssignedDataset(t *testing.T) {
 
 func TestRunLearntDataset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), []string{"twitter-S"}, 0.05, 0, dir); err != nil {
+	if err := run(context.Background(), []string{"twitter-S"}, 0.05, 0, dir, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, suffix := range []string{".graph.tsv", ".truth.tsv", ".log.tsv"} {
@@ -58,8 +59,38 @@ func TestRunLearntDataset(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointResume: a checkpointed run records completed datasets, a
+// rerun skips them (the checkpoint survives mid-run), and a complete run
+// deletes the checkpoint. A stale checkpoint (different scale) is discarded
+// with a fresh start instead of an error.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "data.ckpt")
+	names := []string{"nethept-W", "nethept-F"}
+	if err := run(context.Background(), names, 0.05, 0, dir, ckpt, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Complete run: checkpoint deleted.
+	if _, err := os.Stat(ckpt); err == nil {
+		t.Fatal("checkpoint survived a complete run")
+	}
+	// A checkpoint from a different configuration (here: another scale) must
+	// be discarded with a fresh start, not resumed and not a hard failure.
+	stale := checkpoint.NewBitmap(len(names))
+	stale.Set(0)
+	if err := checkpoint.Save(ckpt, fingerprint(names, 0.05, 0), stale, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), names, 0.1, 0, dir, ckpt, 0); err != nil {
+		t.Fatalf("scale change with old checkpoint: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err == nil {
+		t.Fatal("stale checkpoint not cleaned up by the complete run")
+	}
+}
+
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run(context.Background(), []string{"nope-X"}, 0.05, 0, t.TempDir()); err == nil {
+	if err := run(context.Background(), []string{"nope-X"}, 0.05, 0, t.TempDir(), "", 0); err == nil {
 		t.Fatal("accepted unknown dataset")
 	}
 }

@@ -4,20 +4,30 @@
 //	experiments -exp table2                 # one artifact
 //	experiments -exp all -scale 1 -samples 1000 -k 200
 //	experiments -exp fig6 -datasets nethept-F,twitter-S -k 100
+//	experiments -exp all -checkpoint ./ckpt -deadline 30m
 //
 // Experiments: table1 fig3 table2 fig4 fig5 fig6 fig7 fig8, or "all".
+//
+// Exit codes: 0 success (including deadline-degraded runs, whose notices go
+// to stderr), 1 real errors, 130 SIGINT/SIGTERM cancellation. With
+// -checkpoint, the heavy index builds save progress to fingerprint-keyed
+// files in that directory and a rerun with the same configuration resumes
+// them; with -deadline, builds past the budget return partial indexes (fewer
+// worlds) and the experiments continue on them.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"soi/internal/checkpoint"
+	"soi/internal/cliutil"
 	"soi/internal/experiments"
 )
 
@@ -32,34 +42,42 @@ func main() {
 		dsets    = flag.String("datasets", "", "comma-separated dataset subset (default: all 12)")
 		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
 		replicas = flag.Int("replicas", 0, "with -exp fig6: run this many dataset replicas and report mean±sd")
+		ckptDir  = flag.String("checkpoint", "", "checkpoint directory: index builds save progress there and a rerun resumes them")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget shared by the whole run; past it, index builds degrade to partial indexes (notice on stderr)")
 	)
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM cancel the context: the heavy index builds abort
-	// between worlds and the run exits with a "canceled" message.
+	// between worlds (flushing progress when -checkpoint is set) and the run
+	// exits 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := experiments.Config{
-		Scale:       *scale,
-		Samples:     *samples,
-		EvalSamples: *evalSamp,
-		K:           *k,
-		Seed:        *seed,
-		Out:         os.Stdout,
-		Ctx:         ctx,
+		Scale:         *scale,
+		Samples:       *samples,
+		EvalSamples:   *evalSamp,
+		K:             *k,
+		Seed:          *seed,
+		Out:           os.Stdout,
+		Err:           os.Stderr,
+		Ctx:           ctx,
+		CheckpointDir: *ckptDir,
+	}
+	if *deadline > 0 {
+		cfg.Budget = checkpoint.Budget{Deadline: time.Now().Add(*deadline)}
 	}
 	if *dsets != "" {
 		cfg.Datasets = strings.Split(*dsets, ",")
 	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			cliutil.Fail("experiments", err)
+		}
+	}
 
 	fail := func(prefix string, err error) {
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "experiments: canceled")
-		} else {
-			fmt.Fprintf(os.Stderr, "experiments: %s%v\n", prefix, err)
-		}
-		os.Exit(1)
+		cliutil.Fail("experiments", fmt.Errorf("%s%w", prefix, err))
 	}
 
 	if *replicas > 0 && *exp == "fig6" {

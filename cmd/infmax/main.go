@@ -4,21 +4,28 @@
 //	infmax -graph network.tsv -k 200 -method tc
 //	infmax -graph network.tsv -k 200 -method std
 //	infmax -graph network.tsv -k 50 -compare       # both + baselines
+//	infmax -graph network.tsv -k 200 -method rr -checkpoint run.ckpt -deadline 5m
 //
 // Methods: tc (typical-cascade max cover, the paper's contribution), std
 // (CELF greedy on expected spread), degree, random.
+//
+// Exit codes: 0 success (including deadline-degraded partial results, whose
+// notices go to stderr), 1 real errors, 130 SIGINT/SIGTERM cancellation.
+// With -checkpoint, interrupted sampling phases flush their progress and a
+// rerun with the same flags resumes where they stopped.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"soi/internal/cascade"
+	"soi/internal/cliutil"
 	"soi/internal/core"
 	"soi/internal/graph"
 	"soi/internal/index"
@@ -36,22 +43,20 @@ func main() {
 		evalSamp  = flag.Int("eval-samples", 0, "held-out worlds for scoring (default: same as -samples)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		spherePth = flag.String("spheres", "", "load precomputed spheres (cmd/sphere -all -store) instead of recomputing")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file prefix: sampling phases periodically save progress there and a rerun resumes it")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget; when it nears, sampling stops and a best-effort partial result is returned (notice on stderr)")
 	)
 	flag.Parse()
-	// Ctrl-C / SIGTERM cancel the context so long selections stop promptly.
+	// Ctrl-C / SIGTERM cancel the context so long selections stop promptly;
+	// with -checkpoint their progress is flushed before exit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *graphPath, *k, *method, *compare, *samples, *evalSamp, *seed, *spherePth); err != nil {
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "infmax: canceled")
-		} else {
-			fmt.Fprintln(os.Stderr, "infmax:", err)
-		}
-		os.Exit(1)
+	if err := run(ctx, *graphPath, *k, *method, *compare, *samples, *evalSamp, *seed, *spherePth, *ckptPath, *deadline); err != nil {
+		cliutil.Fail("infmax", err)
 	}
 }
 
-func run(ctx context.Context, graphPath string, k int, method string, compare bool, samples, evalSamples int, seed uint64, spherePath string) error {
+func run(ctx context.Context, graphPath string, k int, method string, compare bool, samples, evalSamples int, seed uint64, spherePath, ckptPath string, deadline time.Duration) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -62,8 +67,19 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 	if evalSamples == 0 {
 		evalSamples = samples
 	}
-	x, err := index.BuildCtx(ctx, g, index.Options{Samples: samples, Seed: seed, TransitiveReduction: true})
-	if err != nil {
+	// resume derives a per-phase checkpoint file from the -checkpoint prefix;
+	// partial (deadline-degraded) results are kept and reported on stderr.
+	resume := func(phase string) cliutil.Config {
+		if ckptPath == "" {
+			return cliutil.ResumeConfig("infmax", "", deadline)
+		}
+		return cliutil.ResumeConfig("infmax", ckptPath+phase, deadline)
+	}
+	idxCfg := resume(".idx")
+	x, err := cliutil.RetryStale("infmax", idxCfg.Path, func() (*index.Index, error) {
+		return index.BuildResumable(ctx, g, index.Options{Samples: samples, Seed: seed, TransitiveReduction: true}, idxCfg)
+	})
+	if !cliutil.Partial("infmax", err) && err != nil {
 		return err
 	}
 
@@ -78,13 +94,16 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 			}
 		}
 		if results == nil {
+			cfg := resume(".spheres")
 			var err error
-			results, err = core.ComputeAllCtx(ctx, x, core.Options{})
-			if err != nil {
+			results, err = cliutil.RetryStale("infmax", cfg.Path, func() ([]core.Result, error) {
+				return core.ComputeAllResumable(ctx, x, core.Options{}, cfg)
+			})
+			if !cliutil.Partial("infmax", err) && err != nil {
 				return nil, err
 			}
 		}
-		sp := make(infmax.Spheres, len(results))
+		sp := make(infmax.Spheres, g.NumNodes())
 		for v := range results {
 			sp[v] = results[v].Set
 		}
@@ -105,7 +124,14 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 		case "std":
 			return infmax.Std(x, k)
 		case "rr":
-			return infmax.RRCtx(ctx, g, k, infmax.RROptions{Sets: 20 * samples, Seed: seed})
+			cfg := resume(".rr")
+			sel, err := cliutil.RetryStale("infmax", cfg.Path, func() (infmax.Selection, error) {
+				return infmax.RRResumable(ctx, g, k, infmax.RROptions{Sets: 20 * samples, Seed: seed}, cfg)
+			})
+			if cliutil.Partial("infmax", err) {
+				err = nil
+			}
+			return sel, err
 		case "degree":
 			return infmax.Degree(g, k)
 		case "degreediscount":
@@ -129,8 +155,11 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 		if err != nil {
 			return err
 		}
-		spread, err := cascade.ExpectedSpreadCtx(ctx, g, sel.Seeds, evalSamples, seed^0xE7A1, 0)
-		if err != nil {
+		mcCfg := resume(".mc")
+		spread, err := cliutil.RetryStale("infmax", mcCfg.Path, func() (float64, error) {
+			return cascade.ExpectedSpreadResumable(ctx, g, sel.Seeds, evalSamples, seed^0xE7A1, 0, mcCfg)
+		})
+		if !cliutil.Partial("infmax", err) && err != nil {
 			return err
 		}
 		fmt.Printf("method=%s k=%d expected-spread=%.2f\nseeds:", method, len(sel.Seeds), spread)
@@ -141,8 +170,11 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 		return nil
 	}
 
-	eval, err := index.BuildCtx(ctx, g, index.Options{Samples: evalSamples, Seed: seed ^ 0xE7A1})
-	if err != nil {
+	evalCfg := resume(".eval")
+	eval, err := cliutil.RetryStale("infmax", evalCfg.Path, func() (*index.Index, error) {
+		return index.BuildResumable(ctx, g, index.Options{Samples: evalSamples, Seed: seed ^ 0xE7A1}, evalCfg)
+	})
+	if !cliutil.Partial("infmax", err) && err != nil {
 		return err
 	}
 	s := eval.NewScratch()

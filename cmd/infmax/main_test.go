@@ -33,14 +33,14 @@ func TestRunSingleMethods(t *testing.T) {
 	dir := t.TempDir()
 	gp, _ := writeTestGraph(t, dir)
 	for _, m := range []string{"tc", "std", "rr", "degree", "degreediscount", "random"} {
-		if err := run(context.Background(), gp, 3, m, false, 30, 30, 1, ""); err != nil {
+		if err := run(context.Background(), gp, 3, m, false, 30, 30, 1, "", "", 0); err != nil {
 			t.Fatalf("method %s: %v", m, err)
 		}
 	}
-	if err := run(context.Background(), gp, 3, "nope", false, 30, 30, 1, ""); err == nil {
+	if err := run(context.Background(), gp, 3, "nope", false, 30, 30, 1, "", "", 0); err == nil {
 		t.Error("accepted unknown method")
 	}
-	if err := run(context.Background(), "", 3, "tc", false, 30, 30, 1, ""); err == nil {
+	if err := run(context.Background(), "", 3, "tc", false, 30, 30, 1, "", "", 0); err == nil {
 		t.Error("accepted missing graph")
 	}
 }
@@ -48,7 +48,7 @@ func TestRunSingleMethods(t *testing.T) {
 func TestRunCompare(t *testing.T) {
 	dir := t.TempDir()
 	gp, _ := writeTestGraph(t, dir)
-	if err := run(context.Background(), gp, 3, "tc", true, 30, 30, 1, ""); err != nil {
+	if err := run(context.Background(), gp, 3, "tc", true, 30, 30, 1, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -64,11 +64,11 @@ func TestRunWithSphereStore(t *testing.T) {
 	if err := core.SaveSpheresFile(store, core.ComputeAll(x, core.Options{})); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, store); err != nil {
+	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, store, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	// A broken store path falls back to recomputation rather than failing.
-	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, filepath.Join(dir, "missing.bin")); err != nil {
+	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, filepath.Join(dir, "missing.bin"), "", 0); err != nil {
 		t.Fatal(err)
 	}
 }

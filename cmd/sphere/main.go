@@ -7,23 +7,31 @@
 //	sphere -graph network.tsv -all -out spheres.tsv
 //	sphere -graph network.tsv -node 42 -index idx.bin        # reuse an index
 //	sphere -graph network.tsv -build-index idx.bin           # build + save
+//	sphere -graph network.tsv -all -checkpoint run.ckpt      # crash-safe
+//	sphere -graph network.tsv -all -deadline 10m             # best effort
 //
 // The graph file is an edge list: "from to probability" per line.
+//
+// Exit codes: 0 success (including deadline-degraded partial results, whose
+// notices go to stderr), 1 real errors, 130 SIGINT/SIGTERM cancellation.
+// With -checkpoint, interrupted runs flush their progress and a rerun with
+// the same flags resumes where they stopped.
 package main
 
 import (
 	"bufio"
 	"bytes"
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"soi/internal/atomicfile"
+	"soi/internal/cliutil"
 	"soi/internal/core"
 	"soi/internal/graph"
 	"soi/internal/index"
@@ -45,25 +53,25 @@ func main() {
 		outPath     = flag.String("out", "", "write results here instead of stdout")
 		storePath   = flag.String("store", "", "with -all: also persist the spheres to this file (see cmd/infmax -spheres)")
 		modes       = flag.Int("modes", 0, "with -node: also report up to this many cascade modes (die-out vs take-off)")
+		ckptPath    = flag.String("checkpoint", "", "checkpoint file prefix: long phases periodically save progress there and a rerun resumes it")
+		deadline    = flag.Duration("deadline", 0, "wall-clock budget; when it nears, sampling stops and a best-effort partial result is returned (notice on stderr)")
 	)
 	flag.Parse()
-	// Ctrl-C / SIGTERM cancel the context: compute workers stop promptly and
-	// output files — written atomically — are never left truncated.
+	// Ctrl-C / SIGTERM cancel the context: compute workers stop promptly,
+	// progress is flushed to the checkpoint (with -checkpoint), and output
+	// files — written atomically — are never left truncated.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, *graphPath, *node, *all, *samples, *costSamples, *seed,
-		*algorithm, *indexPath, *buildIndex, !*noTransRed, *ltModel, *outPath, *storePath, *modes); err != nil {
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "sphere: canceled")
-		} else {
-			fmt.Fprintln(os.Stderr, "sphere:", err)
-		}
-		os.Exit(1)
+		*algorithm, *indexPath, *buildIndex, !*noTransRed, *ltModel, *outPath, *storePath, *modes,
+		*ckptPath, *deadline); err != nil {
+		cliutil.Fail("sphere", err)
 	}
 }
 
 func run(ctx context.Context, graphPath string, node int, all bool, samples, costSamples int, seed uint64,
-	algorithm, indexPath, buildIndexPath string, transRed, lt bool, outPath, storePath string, modes int) error {
+	algorithm, indexPath, buildIndexPath string, transRed, lt bool, outPath, storePath string, modes int,
+	ckptPath string, deadline time.Duration) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -92,12 +100,18 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 		if lt {
 			model = index.LT
 		}
-		x, err = index.BuildCtx(ctx, g, index.Options{
-			Samples:             samples,
-			Seed:                seed,
-			TransitiveReduction: transRed,
-			Model:               model,
+		cfg := cliutil.ResumeConfig("sphere", suffix(ckptPath, ".idx"), deadline)
+		x, err = cliutil.RetryStale("sphere", cfg.Path, func() (*index.Index, error) {
+			return index.BuildResumable(ctx, g, index.Options{
+				Samples:             samples,
+				Seed:                seed,
+				TransitiveReduction: transRed,
+				Model:               model,
+			}, cfg)
 		})
+		if cliutil.Partial("sphere", err) {
+			err = nil // keep the partial index; later phases degrade further
+		}
 	}
 	if err != nil {
 		return err
@@ -140,18 +154,28 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 
 	switch {
 	case all:
-		results, err := core.ComputeAllCtx(ctx, x, opts)
-		if err != nil {
+		cfg := cliutil.ResumeConfig("sphere", suffix(ckptPath, ".all"), deadline)
+		results, err := cliutil.RetryStale("sphere", cfg.Path, func() ([]core.Result, error) {
+			return core.ComputeAllResumable(ctx, x, opts, cfg)
+		})
+		partial := cliutil.Partial("sphere", err)
+		if err != nil && !partial {
 			return err
 		}
 		for _, res := range results {
+			if res.Seeds == nil {
+				continue // node not reached before the deadline
+			}
 			report(res)
 		}
-		if storePath != "" {
+		if storePath != "" && !partial {
 			if err := core.SaveSpheresFile(storePath, results); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "spheres persisted to %s\n", storePath)
+		}
+		if partial && storePath != "" {
+			fmt.Fprintln(os.Stderr, "sphere: partial sweep not persisted to -store; rerun with the same -checkpoint to finish it")
 		}
 	case node >= 0:
 		// Translate the original id back to the dense space.
@@ -196,4 +220,13 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 	}
 	_, err = os.Stdout.Write(buf.Bytes())
 	return err
+}
+
+// suffix derives a per-phase checkpoint file from the -checkpoint prefix;
+// an empty prefix disables checkpointing for every phase.
+func suffix(base, s string) string {
+	if base == "" {
+		return ""
+	}
+	return base + s
 }

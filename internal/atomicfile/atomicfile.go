@@ -1,49 +1,93 @@
-// Package atomicfile writes files atomically: content goes to a temporary
-// file in the destination directory, is synced, and is renamed over the
-// target only after a fully successful write. A crash, error, or
-// cancellation mid-write therefore never leaves a truncated or half-written
-// index/sphere-store/graph file at the destination — the old file (if any)
-// survives intact.
+// Package atomicfile writes files atomically and durably: content goes to a
+// temporary file in the destination directory, is synced, is renamed over
+// the target only after a fully successful write, and the parent directory
+// is then synced so the rename itself survives power loss. A crash, error,
+// or cancellation mid-write therefore never leaves a truncated or
+// half-written index/sphere-store/graph/checkpoint file at the destination —
+// the old file (if any) survives intact.
 package atomicfile
 
 import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+
+	"soi/internal/fault"
 )
 
 // WriteFile streams write's output to path atomically. If write (or any
 // filesystem step) fails, the destination is left untouched and the
-// temporary file is removed.
-func WriteFile(path string, write func(w io.Writer) error) error {
+// temporary file is removed — unless the failure is a simulated process kill
+// from the fault registry, in which case the temporary file is deliberately
+// left behind, exactly as a SIGKILL at that instant would leave it.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
+	f, cerr := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if cerr != nil {
+		return cerr
 	}
 	tmp := f.Name()
 	defer func() {
-		if tmp != "" {
+		if tmp != "" && !fault.IsKilled(err) {
 			os.Remove(tmp)
 		}
 	}()
-	if err := write(f); err != nil {
+	if err = write(f); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err = fault.Hit(fault.AtomicWrite); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
+	if err = f.Sync(); err != nil {
+		f.Close()
 		return err
 	}
-	if err := os.Chmod(tmp, 0o644); err != nil {
+	if err = fault.Hit(fault.AtomicSync); err != nil {
+		f.Close()
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Chmod(tmp, 0o644); err != nil {
+		return err
+	}
+	if err = fault.Hit(fault.AtomicRename); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
 		return err
 	}
 	tmp = "" // renamed away; nothing to clean up
-	return nil
+	if err = fault.Hit(fault.AtomicDirSync); err != nil {
+		return err
+	}
+	// Sync the parent directory so the rename — not just the file contents —
+	// is durable across power loss. Without this the directory entry can
+	// still be sitting in the page cache when the machine dies, resurrecting
+	// the old file (or nothing) on reboot.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory. On platforms whose filesystems cannot sync
+// directory handles (notably Windows), the error is ignored: the rename was
+// still atomic, just not guaranteed durable, which matches the pre-fsync
+// behaviour there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if runtime.GOOS == "windows" {
+			return nil
+		}
+		return serr
+	}
+	return cerr
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"soi/internal/fault"
 )
 
 func TestWriteFileCreatesContent(t *testing.T) {
@@ -57,6 +59,84 @@ func TestWriteFileFailureKeepsOldContent(t *testing.T) {
 		if strings.Contains(e.Name(), ".tmp-") {
 			t.Fatalf("temp file %s left behind", e.Name())
 		}
+	}
+}
+
+// TestWriteFileKillSemantics drives each failpoint site and checks the
+// disk state matches what a SIGKILL at that instant would leave: the
+// destination never holds partial content, and the temporary file is
+// deliberately NOT cleaned up (a dead process cannot clean up either).
+func TestWriteFileKillSemantics(t *testing.T) {
+	fault.SetActive(true)
+	defer fault.SetActive(false)
+	for _, site := range []string{fault.AtomicWrite, fault.AtomicSync, fault.AtomicRename} {
+		fault.Reset()
+		if err := fault.Enable(site, fault.Failpoint{Kind: fault.KindKill}); err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "out.bin")
+		if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := WriteFile(path, func(w io.Writer) error {
+			_, err := w.Write([]byte("new content"))
+			return err
+		})
+		if !fault.IsKilled(err) {
+			t.Fatalf("%s: err = %v, want simulated kill", site, err)
+		}
+		if got, _ := os.ReadFile(path); string(got) != "old" {
+			t.Fatalf("%s: destination clobbered: %q", site, got)
+		}
+		tmps := 0
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp-") {
+				tmps++
+			}
+		}
+		if tmps != 1 {
+			t.Fatalf("%s: %d temp files, want exactly 1 (kill leaves the temp behind)", site, tmps)
+		}
+	}
+	// A kill after the rename: the new content IS the destination (the
+	// rename happened before the "crash") and no temp file remains.
+	fault.Reset()
+	if err := fault.Enable(fault.AtomicDirSync, fault.Failpoint{Kind: fault.KindKill}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	})
+	if !fault.IsKilled(err) {
+		t.Fatalf("dirsync: err = %v, want simulated kill", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Fatalf("dirsync kill: content %q, want the renamed file", got)
+	}
+}
+
+// TestWriteFileInjectedErrorCleansUp: an ordinary injected error (not a
+// kill) must clean the temp file up like any other failure.
+func TestWriteFileInjectedErrorCleansUp(t *testing.T) {
+	fault.SetActive(true)
+	defer fault.SetActive(false)
+	if err := fault.Enable(fault.AtomicRename, fault.Failpoint{Kind: fault.KindError}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	err := WriteFile(path, func(w io.Writer) error { return nil })
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("directory not clean after error: %v", entries)
 	}
 }
 

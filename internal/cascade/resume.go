@@ -1,0 +1,139 @@
+package cascade
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"soi/internal/checkpoint"
+	"soi/internal/fault"
+	"soi/internal/graph"
+	"soi/internal/pool"
+	"soi/internal/rng"
+)
+
+// ExpectedSpreadResumable is ExpectedSpreadCtx under the crash-safe
+// execution layer: the per-trial cascade sizes are summed into a checkpoint
+// (an order-independent integer total plus the completed-trial bitmap), so a
+// crash or cancellation loses at most one flush interval of simulations and
+// a rerun with the same inputs returns a value bit-identical to an
+// uninterrupted run.
+//
+// With cfg.Budget.Deadline set, the estimator stops simulating when the
+// deadline nears and returns the mean over the completed trials together
+// with a *checkpoint.PartialError; the bound it carries is normalized to
+// [0,1] — multiply by n for spread units.
+func ExpectedSpreadResumable(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, trials int, seed uint64, workers int, cfg checkpoint.Config) (float64, error) {
+	if trials <= 0 {
+		return 0, ctx.Err()
+	}
+	master := rng.New(seed)
+	gens := make([]*rng.PCG32, trials)
+	for i := range gens {
+		gens[i] = master.Split(uint64(i))
+	}
+
+	// sums[i] is trial i's cascade size, written once before MarkDone(i) and
+	// immutable afterwards; the flusher reads only marked trials.
+	sums := make([]int64, trials)
+	var resumedTotal int64
+	resumed := checkpoint.NewBitmap(trials)
+	encode := func(done *checkpoint.Bitmap) ([]byte, error) {
+		total := resumedTotal
+		for i := 0; i < trials; i++ {
+			if done.Get(i) && !resumed.Get(i) {
+				total += sums[i]
+			}
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(total))
+		return buf[:], nil
+	}
+
+	fp := SpreadFingerprint(g, seeds, trials, seed)
+	r, st, err := checkpoint.Start(cfg, fp, trials, encode)
+	if err != nil {
+		return 0, err
+	}
+	if st != nil {
+		if len(st.Payload) != 8 {
+			r.Abort()
+			return 0, fmt.Errorf("%w: spread payload is %d bytes, want 8", checkpoint.ErrCorrupt, len(st.Payload))
+		}
+		resumedTotal = int64(binary.LittleEndian.Uint64(st.Payload))
+		resumed = st.Done
+	}
+
+	w := pool.Workers(workers, trials)
+	visiteds := make([][]bool, w)
+	runErr := pool.Run(ctx, trials, pool.Options{Workers: w}, func(worker, i int) error {
+		if resumed.Get(i) {
+			return nil
+		}
+		if err := r.Gate(); err != nil {
+			return err
+		}
+		visited := visiteds[worker]
+		if visited == nil {
+			visited = make([]bool, g.NumNodes())
+			visiteds[worker] = visited
+		}
+		size := int64(simulateSize(g, seeds, gens[i], visited))
+		sums[i] = size
+		r.MarkDone(i, nil)
+		return nil
+	})
+
+	mean := func(done *checkpoint.Bitmap) float64 {
+		total := resumedTotal
+		for i := 0; i < trials; i++ {
+			if done.Get(i) && !resumed.Get(i) {
+				total += sums[i]
+			}
+		}
+		return float64(total) / float64(done.Count())
+	}
+
+	switch {
+	case runErr == nil:
+		if ferr := r.Finish(true); ferr != nil {
+			return 0, ferr
+		}
+		return mean(fullBitmap(trials)), nil
+	case errors.Is(runErr, checkpoint.ErrDeadline):
+		if ferr := r.Finish(false); ferr != nil && fault.IsKilled(ferr) {
+			return 0, ferr
+		}
+		outcome := r.Partial(trials)
+		if !errors.Is(outcome, checkpoint.ErrPartial) {
+			return 0, outcome
+		}
+		return mean(r.Snapshot()), outcome
+	case fault.IsKilled(runErr):
+		r.Abort()
+		return 0, runErr
+	default:
+		r.Finish(false)
+		return 0, runErr
+	}
+}
+
+// SpreadFingerprint keys ExpectedSpreadResumable checkpoints.
+func SpreadFingerprint(g *graph.Graph, seeds []graph.NodeID, trials int, seed uint64) uint64 {
+	return checkpoint.NewHasher().
+		String("cascade.ExpectedSpread").
+		Graph(g).
+		Nodes(seeds).
+		Int(trials).
+		Uint64(seed).
+		Sum()
+}
+
+func fullBitmap(n int) *checkpoint.Bitmap {
+	b := checkpoint.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	return b
+}

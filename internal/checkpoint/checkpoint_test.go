@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testBitmap(n int, set ...int) *Bitmap {
+	b := NewBitmap(n)
+	for _, i := range set {
+		b.Set(i)
+	}
+	return b
+}
+
+func TestBitmap(t *testing.T) {
+	b := testBitmap(70, 0, 63, 64, 69)
+	if b.Len() != 70 || b.Count() != 4 {
+		t.Fatalf("Len=%d Count=%d", b.Len(), b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 69} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(65) {
+		t.Fatal("unexpected bits set")
+	}
+	c := b.Clone()
+	c.Set(1)
+	if b.Get(1) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	done := testBitmap(100, 0, 1, 2, 50, 99)
+	payload := []byte("partial accumulators")
+	if err := Save(path, 0xDEAD, done, payload); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path, 0xDEAD, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("Load returned nil state for existing checkpoint")
+	}
+	if st.Done.Count() != 5 || !st.Done.Get(50) || st.Done.Get(51) {
+		t.Fatal("bitmap did not round-trip")
+	}
+	if !bytes.Equal(st.Payload, payload) {
+		t.Fatalf("payload = %q", st.Payload)
+	}
+}
+
+func TestLoadMissingStartsFresh(t *testing.T) {
+	st, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), 1, 10)
+	if err != nil || st != nil {
+		t.Fatalf("missing checkpoint: st=%v err=%v, want nil,nil", st, err)
+	}
+}
+
+func TestLoadStale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, 7, testBitmap(10, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Changed fingerprint (graph/params/seed changed).
+	if _, err := Load(path, 8, 10); !errors.Is(err, ErrStale) {
+		t.Fatalf("fingerprint mismatch: %v, want ErrStale", err)
+	}
+	// Changed unit count.
+	if _, err := Load(path, 7, 11); !errors.Is(err, ErrStale) {
+		t.Fatalf("unit-count mismatch: %v, want ErrStale", err)
+	}
+}
+
+// TestLoadCorrupt flips every byte and truncates at every length: each
+// variant must fail loudly (ErrCorrupt, or ErrStale when the flip lands in
+// the fingerprint/unit fields) — never load as valid state.
+func TestLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := Save(path, 7, testBitmap(10, 1, 2), []byte{9, 8, 7}); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, data []byte) {
+		t.Helper()
+		st, err := Read(bytes.NewReader(data), 7, 10)
+		if err == nil {
+			t.Fatalf("%s: corrupted checkpoint loaded: %+v", name, st)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrStale) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt or ErrStale", name, err)
+		}
+	}
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x40
+		check("bit flip", mut)
+	}
+	for n := 0; n < len(valid); n++ {
+		check("truncation", valid[:n])
+	}
+	check("trailing garbage", append(append([]byte(nil), valid...), 0))
+}
+
+func TestRemoveIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, 1, testBitmap(4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(path); err != nil {
+		t.Fatalf("second Remove: %v", err)
+	}
+}
+
+func TestHasherSensitivity(t *testing.T) {
+	base := func() *Hasher { return NewHasher().String("path").Uint64(42).Int(7).Bool(true).Float64(0.5) }
+	a := base().Sum()
+	if b := base().Sum(); b != a {
+		t.Fatal("hasher not deterministic")
+	}
+	variants := []uint64{
+		NewHasher().String("path").Uint64(43).Int(7).Bool(true).Float64(0.5).Sum(),
+		NewHasher().String("path").Uint64(42).Int(8).Bool(true).Float64(0.5).Sum(),
+		NewHasher().String("path").Uint64(42).Int(7).Bool(false).Float64(0.5).Sum(),
+		NewHasher().String("path").Uint64(42).Int(7).Bool(true).Float64(0.25).Sum(),
+		NewHasher().String("htap").Uint64(42).Int(7).Bool(true).Float64(0.5).Sum(),
+	}
+	for i, v := range variants {
+		if v == a {
+			t.Fatalf("variant %d collides with base fingerprint", i)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package cliutil
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"soi/internal/checkpoint"
+)
+
+func TestPartial(t *testing.T) {
+	if Partial("tool", nil) {
+		t.Fatal("nil error reported as partial")
+	}
+	if Partial("tool", errors.New("boom")) {
+		t.Fatal("ordinary error reported as partial")
+	}
+	pe := &checkpoint.PartialError{Achieved: 3, Requested: 10, Bound: 0.5}
+	if !Partial("tool", pe) {
+		t.Fatal("PartialError not recognized")
+	}
+	// Wrapped partials count too (the resumable paths wrap freely).
+	if !Partial("tool", errors.Join(errors.New("ctx"), pe)) {
+		t.Fatal("wrapped PartialError not recognized")
+	}
+}
+
+func TestResumeConfig(t *testing.T) {
+	cfg := ResumeConfig("tool", "run.ckpt", time.Minute)
+	if cfg.Path != "run.ckpt" {
+		t.Fatalf("Path = %q", cfg.Path)
+	}
+	if cfg.Budget.Deadline.IsZero() || time.Until(cfg.Budget.Deadline) > time.Minute {
+		t.Fatalf("Deadline = %v", cfg.Budget.Deadline)
+	}
+	if cfg.OnResume == nil {
+		t.Fatal("OnResume not set")
+	}
+	cfg.OnResume(1, 2) // writes a notice to stderr; must not panic
+
+	if cfg := ResumeConfig("tool", "", 0); cfg.Path != "" || !cfg.Budget.Deadline.IsZero() {
+		t.Fatalf("zero flags produced %+v", cfg)
+	}
+}

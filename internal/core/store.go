@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"soi/internal/atomicfile"
+	"soi/internal/fault"
 	"soi/internal/graph"
 )
 
@@ -193,8 +194,12 @@ func min32(a, b uint32) uint32 {
 }
 
 // SaveSpheresFile writes the sphere store to path atomically (temp file +
-// rename), so an interrupted save never leaves a truncated store behind.
+// rename + directory sync), so an interrupted save never leaves a truncated
+// store behind.
 func SaveSpheresFile(path string, results []Result) error {
+	if err := fault.Hit(fault.StoreSave); err != nil {
+		return err
+	}
 	return atomicfile.WriteFile(path, func(w io.Writer) error {
 		return SaveSpheres(w, results)
 	})

@@ -18,9 +18,12 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 
+	"soi/internal/checkpoint"
 	"soi/internal/core"
 	"soi/internal/datasets"
 	"soi/internal/graph"
@@ -53,6 +56,18 @@ type Config struct {
 	// cmd/experiments passes the signal-bound context so Ctrl-C aborts a run
 	// promptly between worlds instead of finishing the experiment.
 	Ctx context.Context
+	// CheckpointDir, if non-empty, makes the heavy index builds crash-safe:
+	// each build periodically saves its progress to a fingerprint-keyed file
+	// (idx-%016x.ckpt) in this directory, and a rerun with the same
+	// configuration resumes instead of resampling completed worlds.
+	CheckpointDir string
+	// Budget bounds each index build's wall clock; past the deadline a build
+	// returns a partial index with fewer worlds (noted on Err) and the
+	// experiment continues on it.
+	Budget checkpoint.Budget
+	// Err receives resume and partial-result notices (they never go to Out,
+	// which carries the tables); nil discards them.
+	Err io.Writer
 }
 
 func (c *Config) defaults() {
@@ -77,6 +92,9 @@ func (c *Config) defaults() {
 	if c.Ctx == nil {
 		c.Ctx = context.Background()
 	}
+	if c.Err == nil {
+		c.Err = io.Discard
+	}
 }
 
 func (c *Config) printf(format string, args ...interface{}) {
@@ -98,7 +116,7 @@ func (c *Config) ctx() context.Context {
 
 // buildIndex builds the method index for a dataset.
 func (c *Config) buildIndex(g *graph.Graph) (*index.Index, error) {
-	return index.BuildCtx(c.ctx(), g, index.Options{
+	return c.buildResumable(g, index.Options{
 		Samples:             c.Samples,
 		Seed:                c.Seed ^ methodWorldTag,
 		TransitiveReduction: true,
@@ -107,10 +125,41 @@ func (c *Config) buildIndex(g *graph.Graph) (*index.Index, error) {
 
 // buildEvalIndex builds the held-out evaluation index (independent worlds).
 func (c *Config) buildEvalIndex(g *graph.Graph) (*index.Index, error) {
-	return index.BuildCtx(c.ctx(), g, index.Options{
+	return c.buildResumable(g, index.Options{
 		Samples: c.EvalSamples,
 		Seed:    c.Seed ^ evalWorldTag,
 	})
+}
+
+// errw returns the notice sink (Discard before defaults() has run).
+func (c *Config) errw() io.Writer {
+	if c.Err == nil {
+		return io.Discard
+	}
+	return c.Err
+}
+
+// buildResumable is the checkpoint/budget-aware index build behind every
+// experiment. With no CheckpointDir and a zero Budget it is exactly BuildCtx.
+// Checkpoint files are keyed by the build fingerprint, so the many distinct
+// (dataset, world-tag, ℓ) builds of one experiment run never collide and a
+// changed configuration starts fresh instead of resuming stale state.
+func (c *Config) buildResumable(g *graph.Graph, opts index.Options) (*index.Index, error) {
+	cfg := checkpoint.Config{Budget: c.Budget}
+	if c.CheckpointDir != "" {
+		cfg.Path = filepath.Join(c.CheckpointDir, fmt.Sprintf("idx-%016x.ckpt", index.BuildFingerprint(g, opts)))
+		cfg.OnResume = func(done, total int) {
+			fmt.Fprintf(c.errw(), "experiments: resumed index build from %s: %d/%d worlds already sampled\n", cfg.Path, done, total)
+		}
+	}
+	x, err := index.BuildResumable(c.ctx(), g, opts, cfg)
+	var pe *checkpoint.PartialError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(c.errw(), "experiments: partial index: deadline reached after %d/%d worlds (±%.4f error bound); continuing degraded\n",
+			pe.Achieved, pe.Requested, pe.Bound)
+		return x, nil
+	}
+	return x, err
 }
 
 // The two seed-space tags keep method and evaluation worlds disjoint.

@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRegistryLockedByDefault(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("registry active without opt-in")
+	}
+	if err := Enable("x", Failpoint{Kind: KindError}); err == nil {
+		t.Fatal("Enable succeeded on a locked registry")
+	}
+	if err := Hit("x"); err != nil {
+		t.Fatalf("Hit on locked registry: %v", err)
+	}
+}
+
+func TestErrorKind(t *testing.T) {
+	SetActive(true)
+	defer SetActive(false)
+	if err := Enable("site", Failpoint{Kind: KindError}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("site"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	if err := Hit("other"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	custom := errors.New("boom")
+	if err := Enable("site", Failpoint{Kind: KindError, Err: custom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("site"); !errors.Is(err, custom) {
+		t.Fatalf("Hit = %v, want custom error", err)
+	}
+	Disable("site")
+	if err := Hit("site"); err != nil {
+		t.Fatalf("disabled site fired: %v", err)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	SetActive(true)
+	defer SetActive(false)
+	// Fire exactly on hits 3 and 4 (skip 2, then at most 2 times).
+	if err := Enable("s", Failpoint{Kind: KindError, After: 2, Times: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if Hit("s") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [3 4]", fired)
+	}
+	if Hits("s") != 6 {
+		t.Fatalf("Hits = %d, want 6", Hits("s"))
+	}
+}
+
+func TestKillKind(t *testing.T) {
+	SetActive(true)
+	defer SetActive(false)
+	if err := Enable("k", Failpoint{Kind: KindKill}); err != nil {
+		t.Fatal(err)
+	}
+	err := Hit("k")
+	if !IsKilled(err) {
+		t.Fatalf("Hit = %v, want simulated kill", err)
+	}
+	if IsKilled(ErrInjected) {
+		t.Fatal("IsKilled(ErrInjected) = true")
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	SetActive(true)
+	defer SetActive(false)
+	if err := Enable("p", Failpoint{Kind: KindPanic, PanicValue: "bang"}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if v := recover(); v != "bang" {
+			t.Fatalf("recovered %v, want bang", v)
+		}
+	}()
+	Hit("p")
+	t.Fatal("Hit did not panic")
+}
+
+func TestDelayKind(t *testing.T) {
+	SetActive(true)
+	defer SetActive(false)
+	if err := Enable("d", Failpoint{Kind: KindDelay, Delay: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("d"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+}
+
+func TestEnableFromSpec(t *testing.T) {
+	SetActive(true)
+	defer SetActive(false)
+	spec := "a/b=kill; c=error:after=1:times=2 ;d=delay:delay=5ms"
+	if err := EnableFromSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("a/b"); !IsKilled(err) {
+		t.Fatalf("a/b = %v, want kill", err)
+	}
+	if err := Hit("c"); err != nil {
+		t.Fatalf("c fired on first hit despite after=1: %v", err)
+	}
+	if err := Hit("c"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("c = %v, want ErrInjected on second hit", err)
+	}
+	for _, bad := range []string{
+		"noequals",
+		"x=unknownkind",
+		"x=error:after=zzz",
+		"x=error:bogus",
+		"x=delay:delay=notaduration",
+	} {
+		Reset()
+		if err := EnableFromSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"soi/internal/graph"
 	"soi/internal/pool"
@@ -78,6 +79,9 @@ type worldEntry struct {
 type Index struct {
 	g       *graph.Graph
 	entries []worldEntry
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // Build samples opts.Samples possible worlds of g and indexes them. It is

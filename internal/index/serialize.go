@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"soi/internal/atomicfile"
+	"soi/internal/fault"
 	"soi/internal/graph"
 	"soi/internal/scc"
 )
@@ -33,6 +34,10 @@ import (
 //
 // The members CSR is rebuilt from comp at load time (cheaper than storing).
 //
+// The per-world record (writeEntry/readEntry) is shared with the
+// checkpoint payload of BuildResumable, so a partially built index
+// checkpoints its completed worlds in exactly the on-disk format.
+//
 // Version history: v01 ("SOIIDX01") is the same layout without the CRC
 // footer; Read still accepts it, Write always produces v02. The checksum
 // catches the corruption class the structural validators cannot: bit flips
@@ -46,53 +51,108 @@ var (
 // castagnoli is the CRC32-C table shared by the index and sphere stores.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// countingWriter tracks bytes written for WriteTo's return value.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// writeEntry serializes one world record: comps, comp[], then per-component
+// successor lists.
+func writeEntry(w io.Writer, e *worldEntry) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(e.dag))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, e.comp); err != nil {
+		return err
+	}
+	for _, succs := range e.dag {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(succs))); err != nil {
+			return err
+		}
+		if len(succs) > 0 {
+			if err := binary.Write(w, binary.LittleEndian, succs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readEntry parses and validates one world record for a graph with the given
+// node count, rebuilding the members CSR. world is only for error messages.
+func readEntry(br io.Reader, nodes uint32, world int) (worldEntry, error) {
+	var comps uint32
+	if err := binary.Read(br, binary.LittleEndian, &comps); err != nil {
+		return worldEntry{}, err
+	}
+	if comps == 0 || comps > nodes {
+		return worldEntry{}, fmt.Errorf("index: world %d has implausible component count %d", world, comps)
+	}
+	comp := make([]int32, nodes)
+	if err := binary.Read(br, binary.LittleEndian, comp); err != nil {
+		return worldEntry{}, err
+	}
+	for v, c := range comp {
+		if c < 0 || uint32(c) >= comps {
+			return worldEntry{}, fmt.Errorf("index: world %d: node %d has component %d out of range", world, v, c)
+		}
+	}
+	dag := make(scc.SliceGraph, comps)
+	for c := range dag {
+		var deg uint32
+		if err := binary.Read(br, binary.LittleEndian, &deg); err != nil {
+			return worldEntry{}, err
+		}
+		if deg > comps {
+			return worldEntry{}, fmt.Errorf("index: world %d: component %d degree %d out of range", world, c, deg)
+		}
+		if deg > 0 {
+			succs := make([]int32, deg)
+			if err := binary.Read(br, binary.LittleEndian, succs); err != nil {
+				return worldEntry{}, err
+			}
+			for _, s := range succs {
+				if s < 0 || uint32(s) >= comps {
+					return worldEntry{}, fmt.Errorf("index: world %d: successor %d out of range", world, s)
+				}
+			}
+			dag[c] = succs
+		}
+	}
+	return rebuildEntry(comp, int(comps), dag), nil
+}
+
 // WriteTo serializes the index in the v02 (checksummed) format.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	h := crc32.New(castagnoli)
-	body := io.MultiWriter(bw, h)
-	var written int64
-	put := func(v any) error {
-		if err := binary.Write(body, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		written += int64(binary.Size(v))
-		return nil
+	cw := &countingWriter{w: io.MultiWriter(bw, h)}
+	if err := binary.Write(cw, binary.LittleEndian, magicV2); err != nil {
+		return cw.n, err
 	}
-	if err := put(magicV2); err != nil {
-		return written, err
+	if err := binary.Write(cw, binary.LittleEndian, uint32(x.g.NumNodes())); err != nil {
+		return cw.n, err
 	}
-	if err := put(uint32(x.g.NumNodes())); err != nil {
-		return written, err
-	}
-	if err := put(uint32(len(x.entries))); err != nil {
-		return written, err
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(x.entries))); err != nil {
+		return cw.n, err
 	}
 	for i := range x.entries {
-		e := &x.entries[i]
-		if err := put(uint32(len(e.dag))); err != nil {
-			return written, err
-		}
-		if err := put(e.comp); err != nil {
-			return written, err
-		}
-		for _, succs := range e.dag {
-			if err := put(uint32(len(succs))); err != nil {
-				return written, err
-			}
-			if len(succs) > 0 {
-				if err := put(succs); err != nil {
-					return written, err
-				}
-			}
+		if err := writeEntry(cw, &x.entries[i]); err != nil {
+			return cw.n, err
 		}
 	}
 	// Footer: checksum of everything above, itself excluded.
 	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
-		return written, err
+		return cw.n, err
 	}
-	written += 4
-	return written, bw.Flush()
+	return cw.n + 4, bw.Flush()
 }
 
 // Read deserializes an index previously written with WriteTo. Both the
@@ -160,45 +220,11 @@ func readBody(br io.Reader, g *graph.Graph) (*Index, error) {
 	// gigabytes up front.
 	x := &Index{g: g, entries: make([]worldEntry, 0, min32u(nWorlds, 4096))}
 	for i := uint32(0); i < nWorlds; i++ {
-		var comps uint32
-		if err := binary.Read(br, binary.LittleEndian, &comps); err != nil {
+		e, err := readEntry(br, nodes, int(i))
+		if err != nil {
 			return nil, err
 		}
-		if comps == 0 || comps > nodes {
-			return nil, fmt.Errorf("index: world %d has implausible component count %d", i, comps)
-		}
-		comp := make([]int32, nodes)
-		if err := binary.Read(br, binary.LittleEndian, comp); err != nil {
-			return nil, err
-		}
-		for v, c := range comp {
-			if c < 0 || uint32(c) >= comps {
-				return nil, fmt.Errorf("index: world %d: node %d has component %d out of range", i, v, c)
-			}
-		}
-		dag := make(scc.SliceGraph, comps)
-		for c := range dag {
-			var deg uint32
-			if err := binary.Read(br, binary.LittleEndian, &deg); err != nil {
-				return nil, err
-			}
-			if deg > comps {
-				return nil, fmt.Errorf("index: world %d: component %d degree %d out of range", i, c, deg)
-			}
-			if deg > 0 {
-				succs := make([]int32, deg)
-				if err := binary.Read(br, binary.LittleEndian, succs); err != nil {
-					return nil, err
-				}
-				for _, s := range succs {
-					if s < 0 || uint32(s) >= comps {
-						return nil, fmt.Errorf("index: world %d: successor %d out of range", i, s)
-					}
-				}
-				dag[c] = succs
-			}
-		}
-		x.entries = append(x.entries, rebuildEntry(comp, int(comps), dag))
+		x.entries = append(x.entries, e)
 	}
 	return x, nil
 }
@@ -229,9 +255,13 @@ func rebuildEntry(comp []int32, numComps int, dag scc.SliceGraph) worldEntry {
 	return worldEntry{comp: comp, memberOff: off, members: members, dag: dag}
 }
 
-// SaveFile writes the index to path atomically (temp file + rename), so an
-// interrupted save never leaves a truncated index behind.
+// SaveFile writes the index to path atomically (temp file + rename +
+// directory sync), so an interrupted save never leaves a truncated index
+// behind.
 func (x *Index) SaveFile(path string) error {
+	if err := fault.Hit(fault.IndexSave); err != nil {
+		return err
+	}
 	return atomicfile.WriteFile(path, func(w io.Writer) error {
 		_, err := x.WriteTo(w)
 		return err

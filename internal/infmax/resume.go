@@ -1,0 +1,244 @@
+package infmax
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"soi/internal/checkpoint"
+	"soi/internal/fault"
+	"soi/internal/graph"
+	"soi/internal/rng"
+)
+
+// RRResumable is RRCtx under the crash-safe execution layer: sampled
+// reverse-reachable sets are periodically checkpointed, so a crash or
+// cancellation mid-sampling loses at most one flush interval of RR sets and
+// a rerun with the same graph, Sets, and Seed selects seeds bit-identical to
+// an uninterrupted run (RR set i depends only on its own split generator).
+//
+// The checkpoint fingerprint deliberately excludes k: the stored RR sets are
+// valid for any seed-set size, and the greedy max-cover over them is cheap
+// relative to sampling, so the same checkpoint can finish runs with
+// different k.
+//
+// With cfg.Budget.Deadline set, sampling stops when the deadline nears and
+// the greedy runs over the RR sets sampled so far — the sketch's native
+// anytime behaviour (Borgs et al.: sample count is a budget, and the
+// estimate degrades gracefully as it shrinks). The result carries a
+// *checkpoint.PartialError; gains are scaled by n/achieved, keeping them in
+// expected-spread units.
+func RRResumable(ctx context.Context, g *graph.Graph, k int, opts RROptions, cfg checkpoint.Config) (Selection, error) {
+	if err := validateK(k, g.NumNodes()); err != nil {
+		return Selection{}, err
+	}
+	if opts.Sets < 1 {
+		return Selection{}, fmt.Errorf("infmax: RR Sets must be >= 1, got %d", opts.Sets)
+	}
+	n := g.NumNodes()
+	rev := g.Reverse()
+	master := rng.New(opts.Seed)
+	visited := make([]bool, n)
+
+	sets := make([][]graph.NodeID, opts.Sets)
+	encode := func(done *checkpoint.Bitmap) ([]byte, error) {
+		var buf bytes.Buffer
+		for i := 0; i < opts.Sets; i++ {
+			if !done.Get(i) {
+				continue
+			}
+			if err := binary.Write(&buf, binary.LittleEndian, uint32(i)); err != nil {
+				return nil, err
+			}
+			if err := binary.Write(&buf, binary.LittleEndian, uint32(len(sets[i]))); err != nil {
+				return nil, err
+			}
+			if err := binary.Write(&buf, binary.LittleEndian, sets[i]); err != nil {
+				return nil, err
+			}
+		}
+		return buf.Bytes(), nil
+	}
+
+	fp := checkpoint.NewHasher().
+		String("infmax.RR").
+		Graph(g).
+		Int(opts.Sets).
+		Uint64(opts.Seed).
+		Sum()
+	r, st, err := checkpoint.Start(cfg, fp, opts.Sets, encode)
+	if err != nil {
+		return Selection{}, err
+	}
+	resumed := checkpoint.NewBitmap(opts.Sets)
+	if st != nil {
+		if err := decodeRRPayload(st, n, sets); err != nil {
+			r.Abort()
+			return Selection{}, err
+		}
+		resumed = st.Done
+	}
+
+	var runErr error
+	var buf []graph.NodeID
+	for i := 0; i < opts.Sets; i++ {
+		if resumed.Get(i) {
+			continue
+		}
+		if runErr = ctx.Err(); runErr != nil {
+			break
+		}
+		if runErr = r.Gate(); runErr != nil {
+			break
+		}
+		rnd := master.Split(uint64(i))
+		target := graph.NodeID(rnd.Intn(n))
+		buf = lazyReach(rev, target, rnd, visited, buf[:0])
+		sets[i] = append([]graph.NodeID(nil), buf...)
+		r.MarkDone(i, nil)
+	}
+
+	greedyOver := func(done *checkpoint.Bitmap) (Selection, error) {
+		achieved := done.Count()
+		setOff := make([]int32, 1, achieved+1)
+		var setNodes []graph.NodeID
+		for i := 0; i < opts.Sets; i++ {
+			if !done.Get(i) {
+				continue
+			}
+			setNodes = append(setNodes, sets[i]...)
+			setOff = append(setOff, int32(len(setNodes)))
+		}
+		return rrGreedy(ctx, g, k, achieved, setOff, setNodes)
+	}
+
+	switch {
+	case runErr == nil:
+		if ferr := r.Finish(true); ferr != nil {
+			return Selection{}, ferr
+		}
+		return greedyOver(fullRRBitmap(opts.Sets))
+	case errors.Is(runErr, checkpoint.ErrDeadline):
+		if ferr := r.Finish(false); ferr != nil && fault.IsKilled(ferr) {
+			return Selection{}, ferr
+		}
+		outcome := r.Partial(opts.Sets)
+		if !errors.Is(outcome, checkpoint.ErrPartial) {
+			return Selection{}, outcome
+		}
+		sel, gerr := greedyOver(r.Snapshot())
+		if gerr != nil {
+			return Selection{}, gerr
+		}
+		return sel, outcome
+	case fault.IsKilled(runErr):
+		r.Abort()
+		return Selection{}, runErr
+	default:
+		r.Finish(false)
+		return Selection{}, runErr
+	}
+}
+
+// rrGreedy is the max-cover phase of the RR method over an explicit CSR of
+// numSets sampled sets. Gains are scaled by n/numSets (expected-spread
+// units).
+func rrGreedy(ctx context.Context, g *graph.Graph, k, numSets int, setOff []int32, setNodes []graph.NodeID) (Selection, error) {
+	n := g.NumNodes()
+	counts := make([]int32, n)
+	for _, v := range setNodes {
+		counts[v]++
+	}
+	covered := make([]bool, numSets)
+	chosen := make([]bool, n)
+	scale := float64(n) / float64(numSets)
+	sel := Selection{Seeds: make([]graph.NodeID, 0, k), Gains: make([]float64, 0, k)}
+	containing := invertSets(n, setOff, setNodes)
+	if k > n {
+		k = n
+	}
+	for round := 0; round < k; round++ {
+		if err := ctx.Err(); err != nil {
+			return Selection{}, err
+		}
+		best := graph.NodeID(-1)
+		var bestCount int32 = -1
+		for v := 0; v < n; v++ {
+			if chosen[v] {
+				continue
+			}
+			sel.LazyEvaluations++
+			if counts[v] > bestCount {
+				bestCount = counts[v]
+				best = graph.NodeID(v)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		sel.Seeds = append(sel.Seeds, best)
+		sel.Gains = append(sel.Gains, float64(bestCount)*scale)
+		lo, hi := containing.off[best], containing.off[best+1]
+		for _, si := range containing.sets[lo:hi] {
+			if covered[si] {
+				continue
+			}
+			covered[si] = true
+			for _, v := range setNodes[setOff[si]:setOff[si+1]] {
+				counts[v]--
+			}
+		}
+	}
+	return sel, nil
+}
+
+// decodeRRPayload restores sampled RR sets from a checkpoint payload.
+func decodeRRPayload(st *checkpoint.State, n int, sets [][]graph.NodeID) error {
+	br := bytes.NewReader(st.Payload)
+	seen := 0
+	for {
+		var id uint32
+		if err := binary.Read(br, binary.LittleEndian, &id); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("%w: rr payload: %v", checkpoint.ErrCorrupt, err)
+		}
+		if int(id) >= len(sets) || !st.Done.Get(int(id)) {
+			return fmt.Errorf("%w: rr payload names set %d outside the done bitmap", checkpoint.ErrCorrupt, id)
+		}
+		var size uint32
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return fmt.Errorf("%w: rr payload set %d: %v", checkpoint.ErrCorrupt, id, err)
+		}
+		if int(size) > n || size == 0 {
+			return fmt.Errorf("%w: rr payload set %d has implausible size %d", checkpoint.ErrCorrupt, id, size)
+		}
+		set := make([]graph.NodeID, size)
+		if err := binary.Read(br, binary.LittleEndian, set); err != nil {
+			return fmt.Errorf("%w: rr payload set %d nodes: %v", checkpoint.ErrCorrupt, id, err)
+		}
+		for _, v := range set {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("%w: rr payload set %d contains out-of-range node %d", checkpoint.ErrCorrupt, id, v)
+			}
+		}
+		sets[id] = set
+		seen++
+	}
+	if seen != st.Done.Count() {
+		return fmt.Errorf("%w: rr payload covers %d sets, bitmap records %d", checkpoint.ErrCorrupt, seen, st.Done.Count())
+	}
+	return nil
+}
+
+func fullRRBitmap(n int) *checkpoint.Bitmap {
+	b := checkpoint.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	return b
+}

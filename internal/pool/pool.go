@@ -22,6 +22,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"soi/internal/fault"
 )
 
 // PanicError is a worker panic converted into an error. The pool guarantees
@@ -113,6 +115,13 @@ func Run(ctx context.Context, total int, opts Options, fn func(worker, task int)
 				}
 				task := int(cursor.Add(1))
 				if task >= total {
+					return
+				}
+				// Failpoint: lets tests inject errors, delays, panics, or
+				// simulated kills between task handout and execution. A
+				// single atomic load when nothing is armed.
+				if err := fault.Hit(fault.PoolTask); err != nil {
+					record(err)
 					return
 				}
 				if err := runTask(fn, w, task); err != nil {

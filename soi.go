@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"soi/internal/cascade"
+	"soi/internal/checkpoint"
 	"soi/internal/core"
 	"soi/internal/datasets"
 	"soi/internal/gen"
@@ -39,6 +40,32 @@ import (
 	"soi/internal/probs"
 	"soi/internal/proplog"
 	"soi/internal/reliability"
+)
+
+// ResumeConfig configures the crash-safe execution layer under the
+// …Resumable APIs: a checkpoint file (periodically, atomically flushed off
+// the worker hot path, fingerprint-keyed so stale checkpoints are rejected)
+// and/or a deadline budget for best-effort partial results.
+type ResumeConfig = checkpoint.Config
+
+// Budget bounds a resumable run by wall-clock deadline while demanding a
+// minimum number of completed units (worlds/trials/RR sets/nodes).
+type Budget = checkpoint.Budget
+
+// ErrPartial is matched by errors.Is for deadline-degraded results; the
+// concrete error is a *PartialError carrying the achieved unit count and a
+// Theorem-2-style error bound.
+var ErrPartial = checkpoint.ErrPartial
+
+// PartialError annotates a deadline-degraded result.
+type PartialError = checkpoint.PartialError
+
+// Checkpoint-rejection errors: a checkpoint written for different inputs
+// (ErrCheckpointStale) or failing its CRC32-C footer (ErrCheckpointCorrupt)
+// aborts the run instead of silently resuming.
+var (
+	ErrCheckpointStale   = checkpoint.ErrStale
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
 )
 
 // NodeID identifies a node; ids are dense in [0, NumNodes).
@@ -100,6 +127,17 @@ func BuildIndexCtx(ctx context.Context, g *Graph, opts IndexOptions) (*Index, er
 	return index.BuildCtx(ctx, g, opts)
 }
 
+// BuildIndexResumable is BuildIndexCtx under the crash-safe execution
+// layer: completed worlds are periodically checkpointed so a crash or
+// cancellation loses at most one flush interval of work, and a rerun with
+// the same graph, options, and checkpoint path produces an index
+// bit-identical to an uninterrupted build. With a deadline Budget it returns
+// a partial index over the completed worlds plus an error matching
+// ErrPartial.
+func BuildIndexResumable(ctx context.Context, g *Graph, opts IndexOptions, cfg ResumeConfig) (*Index, error) {
+	return index.BuildResumable(ctx, g, opts, cfg)
+}
+
 // LoadIndex reads a serialized index for graph g.
 func LoadIndex(path string, g *Graph) (*Index, error) { return index.LoadFile(path, g) }
 
@@ -139,6 +177,15 @@ func AllTypicalCascades(x *Index, opts TypicalOptions) []Sphere {
 // promptly with a nil result. Worker panics are recovered into errors.
 func AllTypicalCascadesCtx(ctx context.Context, x *Index, opts TypicalOptions) ([]Sphere, error) {
 	return core.ComputeAllCtx(ctx, x, opts)
+}
+
+// AllTypicalCascadesResumable is AllTypicalCascadesCtx under the crash-safe
+// execution layer: each node's sphere is periodically checkpointed (keyed on
+// the index contents, so resuming against a different index is rejected as
+// stale). With a deadline Budget it returns the spheres computed so far —
+// unreached nodes have nil Seeds — plus an error matching ErrPartial.
+func AllTypicalCascadesResumable(ctx context.Context, x *Index, opts TypicalOptions, cfg ResumeConfig) ([]Sphere, error) {
+	return core.ComputeAllResumable(ctx, x, opts, cfg)
 }
 
 // SaveSpheres / LoadSpheres persist the results of AllTypicalCascades, the
@@ -198,6 +245,16 @@ func ExpectedSpread(g *Graph, seeds []NodeID, trials int, seed uint64) float64 {
 // simulation workers check ctx between trials.
 func ExpectedSpreadCtx(ctx context.Context, g *Graph, seeds []NodeID, trials int, seed uint64) (float64, error) {
 	return cascade.ExpectedSpreadCtx(ctx, g, seeds, trials, seed, 0)
+}
+
+// ExpectedSpreadResumable is ExpectedSpreadCtx under the crash-safe
+// execution layer: the per-trial cascade sizes are summed into a checkpoint
+// so a rerun returns a value bit-identical to an uninterrupted run. With a
+// deadline Budget it returns the mean over the completed trials plus an
+// error matching ErrPartial (the bound is normalized to [0,1]; multiply by
+// NumNodes for spread units).
+func ExpectedSpreadResumable(ctx context.Context, g *Graph, seeds []NodeID, trials int, seed uint64, cfg ResumeConfig) (float64, error) {
+	return cascade.ExpectedSpreadResumable(ctx, g, seeds, trials, seed, 0, cfg)
 }
 
 // SpreadFromIndex estimates σ(seeds) over the worlds of a prebuilt index,
@@ -268,6 +325,16 @@ func SelectSeedsRR(g *Graph, k int, opts RROptions) (Selection, error) {
 // checked between RR-set samples and greedy rounds.
 func SelectSeedsRRCtx(ctx context.Context, g *Graph, k int, opts RROptions) (Selection, error) {
 	return infmax.RRCtx(ctx, g, k, opts)
+}
+
+// SelectSeedsRRResumable is SelectSeedsRRCtx under the crash-safe execution
+// layer: sampled RR sets are periodically checkpointed and a rerun selects
+// seeds bit-identical to an uninterrupted run. The fingerprint excludes k,
+// so one checkpoint serves runs with different seed-set sizes. With a
+// deadline Budget the greedy runs over the RR sets sampled so far and the
+// result carries an error matching ErrPartial.
+func SelectSeedsRRResumable(ctx context.Context, g *Graph, k int, opts RROptions, cfg ResumeConfig) (Selection, error) {
+	return infmax.RRResumable(ctx, g, k, opts, cfg)
 }
 
 // RRAutoOptions configures the self-budgeting RR method.
