@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fmt fuzz-smoke all
+.PHONY: build test race vet bench bench-json fmt fuzz-smoke all
 
 all: build vet test
 
@@ -18,6 +18,16 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable benchmark baseline: run the root benchmark suite and
+# convert the output to JSON (schema soi.bench/v1) keyed by benchmark name.
+# BENCHTIME=1x gives a smoke run; the committed BENCH_*.json baselines use
+# the default benchtime.
+BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_pr3.json
+
+bench-json:
+	$(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz runs over every binary-format decoder (graph TSV, index v02,
 # checkpoint SOICKP01). Each gets its own `go test` invocation because -fuzz

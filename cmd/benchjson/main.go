@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a stable, machine-readable JSON document, so benchmark baselines can
+// be committed and diffed across pull requests.
+//
+//	go test -run='^$' -bench=. . | benchjson -out BENCH.json
+//
+// Every benchmark line is keyed by its name (the Benchmark prefix and the
+// -GOMAXPROCS suffix stripped, sub-benchmark paths kept), with ns/op,
+// iteration count, the standard -benchmem metrics when present, and every
+// custom b.ReportMetric value under its own unit. Environment header lines
+// (goos/goarch/pkg/cpu) are carried into an env block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"soi/internal/atomicfile"
+	"soi/internal/cliutil"
+)
+
+// Schema identifies the output format.
+const Schema = "soi.bench/v1"
+
+// Result is one benchmark's measurements.
+type Result struct {
+	// Iterations is b.N of the final timed run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp appear with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other unit on the line, including custom
+	// b.ReportMetric units (e.g. "edges", "heldout-cost").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the full output file.
+type Document struct {
+	Schema     string            `json:"schema"`
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	outPath := flag.String("out", "", "write the JSON document here (default: stdout)")
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		cliutil.Fail("benchjson", err)
+	}
+	if *outPath == "" {
+		if err := write(os.Stdout, doc); err != nil {
+			cliutil.Fail("benchjson", err)
+		}
+		return
+	}
+	err = atomicfile.WriteFile(*outPath, func(w io.Writer) error { return write(w, doc) })
+	if err != nil {
+		cliutil.Fail("benchjson", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(doc.Benchmarks), *outPath)
+}
+
+func write(w io.Writer, doc *Document) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// gomaxprocsSuffix matches the trailing -N the bench runner appends.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads `go test -bench` output. Unrecognized lines (PASS, ok, test
+// logs) are ignored, so raw `go test` output pipes through unmodified.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Schema: Schema, Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, env := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, env+": "); ok {
+				if doc.Env == nil {
+					doc.Env = map[string]string{}
+				}
+				doc.Env[env] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "BenchmarkName-N  iters  value unit  [value unit]..."
+		// with at least one value/unit pair; a bare "BenchmarkName" progress
+		// line has no fields to parse.
+		if len(fields) < 4 || (len(fields)%2) != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		name = gomaxprocsSuffix.ReplaceAllString(name, "")
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				v := val
+				res.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				res.AllocsPerOp = &v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		doc.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	return doc, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: soi
+cpu: Example CPU @ 2.50GHz
+BenchmarkTable1DatasetStats-8   	      10	 105032450 ns/op	       120 edges
+BenchmarkAblationCELF/celf-8    	       5	  20150030 ns/op	      1234 gain-evals	   512 B/op	       3 allocs/op
+BenchmarkSampleCascade
+BenchmarkSampleCascade-8        	 1000000	      1042 ns/op
+PASS
+ok  	soi	12.345s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] != "Example CPU @ 2.50GHz" {
+		t.Fatalf("env = %v", doc.Env)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+
+	r, ok := doc.Benchmarks["Table1DatasetStats"]
+	if !ok {
+		t.Fatal("Table1DatasetStats missing (name not normalized?)")
+	}
+	if r.Iterations != 10 || r.NsPerOp != 105032450 || r.Metrics["edges"] != 120 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+
+	r, ok = doc.Benchmarks["AblationCELF/celf"]
+	if !ok {
+		t.Fatal("sub-benchmark path missing")
+	}
+	if r.Metrics["gain-evals"] != 1234 || r.BytesPerOp == nil || *r.BytesPerOp != 512 || *r.AllocsPerOp != 3 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+
+	if doc.Benchmarks["SampleCascade"].NsPerOp != 1042 {
+		t.Fatalf("SampleCascade = %+v", doc.Benchmarks["SampleCascade"])
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok soi 1s\n")); err == nil {
+		t.Fatal("accepted output with no benchmarks")
+	}
+}

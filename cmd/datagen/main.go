@@ -35,14 +35,16 @@ import (
 
 func main() {
 	var (
-		name     = flag.String("dataset", "", "configuration name (e.g. digg-S); see -list")
-		all      = flag.Bool("all", false, "materialize all 12 configurations")
-		list     = flag.Bool("list", false, "list configuration names and exit")
-		scale    = flag.Float64("scale", 1, "dataset scale (1.0 = paper sizes / ~20)")
-		seed     = flag.Uint64("seed", 0, "replica seed (0 = canonical datasets)")
-		out      = flag.String("out", ".", "output directory")
-		ckptPath = flag.String("checkpoint", "", "checkpoint file: completed datasets are recorded there and a rerun skips them")
-		deadline = flag.Duration("deadline", 0, "wall-clock budget; generation stops between datasets when it is reached (notice on stderr)")
+		name      = flag.String("dataset", "", "configuration name (e.g. digg-S); see -list")
+		all       = flag.Bool("all", false, "materialize all 12 configurations")
+		list      = flag.Bool("list", false, "list configuration names and exit")
+		scale     = flag.Float64("scale", 1, "dataset scale (1.0 = paper sizes / ~20)")
+		seed      = flag.Uint64("seed", 0, "replica seed (0 = canonical datasets)")
+		out       = flag.String("out", ".", "output directory")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file: completed datasets are recorded there and a rerun skips them")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget; generation stops between datasets when it is reached (notice on stderr)")
+		debugAddr = flag.String("debug-addr", "", "serve Prometheus /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
+		statsJSON = flag.String("stats-json", "", "write the machine-readable run report (metrics, spans, run info) to this file on exit")
 	)
 	flag.Parse()
 
@@ -63,9 +65,16 @@ func main() {
 	// and the atomic writers never leave a truncated file behind.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, names, *scale, *seed, *out, *ckptPath, *deadline); err != nil {
+	rt, err := cliutil.StartTelemetry("datagen", *debugAddr, *statsJSON)
+	if err != nil {
 		cliutil.Fail("datagen", err)
 	}
+	rt.Registry.SetSeed(*seed)
+	rt.Registry.SetParam("scale", fmt.Sprint(*scale))
+	if err := run(ctx, names, *scale, *seed, *out, *ckptPath, *deadline, rt); err != nil {
+		rt.Finish(err)
+	}
+	rt.Flush()
 }
 
 // fingerprint keys the checkpoint to this exact invocation: a checkpoint
@@ -82,10 +91,16 @@ func fingerprint(names []string, scale float64, seed uint64) uint64 {
 	return h.Sum()
 }
 
-func run(ctx context.Context, names []string, scale float64, seed uint64, outDir, ckptPath string, deadline time.Duration) error {
+func run(ctx context.Context, names []string, scale float64, seed uint64, outDir, ckptPath string, deadline time.Duration, rt *cliutil.RunTelemetry) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
+	tel := rt.Registry
+	mDatasets := tel.Counter("datagen.datasets_generated")
+	mNodes := tel.Counter("datagen.nodes_written")
+	mEdges := tel.Counter("datagen.edges_written")
+	sp := tel.StartSpan("datagen.generate")
+	defer sp.End()
 	fp := fingerprint(names, scale, seed)
 	done := checkpoint.NewBitmap(len(names))
 	if ckptPath != "" {
@@ -147,6 +162,10 @@ func run(ctx context.Context, names []string, scale float64, seed uint64, outDir
 		fmt.Printf("%s: |V|=%d |E|=%d -> %v\n", d.Name, d.Graph.NumNodes(), d.Graph.NumEdges(), written)
 		done.Set(i)
 		generated++
+		mDatasets.Inc()
+		mNodes.Add(int64(d.Graph.NumNodes()))
+		mEdges.Add(int64(d.Graph.NumEdges()))
+		sp.AddUnits(1)
 		if ckptPath != "" {
 			if err := checkpoint.Save(ckptPath, fp, done, nil); err != nil {
 				return err

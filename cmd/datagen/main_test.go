@@ -7,13 +7,20 @@ import (
 	"testing"
 
 	"soi/internal/checkpoint"
+	"soi/internal/cliutil"
 	"soi/internal/graph"
 	"soi/internal/proplog"
 )
 
+// noTel is the disabled telemetry lifecycle main builds when neither
+// -debug-addr nor -stats-json is given.
+func noTel() *cliutil.RunTelemetry {
+	return &cliutil.RunTelemetry{Tool: "datagen"}
+}
+
 func TestRunAssignedDataset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), []string{"nethept-W"}, 0.05, 0, dir, "", 0); err != nil {
+	if err := run(context.Background(), []string{"nethept-W"}, 0.05, 0, dir, "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	gp := filepath.Join(dir, "nethept-W.graph.tsv")
@@ -32,7 +39,7 @@ func TestRunAssignedDataset(t *testing.T) {
 
 func TestRunLearntDataset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), []string{"twitter-S"}, 0.05, 0, dir, "", 0); err != nil {
+	if err := run(context.Background(), []string{"twitter-S"}, 0.05, 0, dir, "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	for _, suffix := range []string{".graph.tsv", ".truth.tsv", ".log.tsv"} {
@@ -67,7 +74,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	dir := t.TempDir()
 	ckpt := filepath.Join(dir, "data.ckpt")
 	names := []string{"nethept-W", "nethept-F"}
-	if err := run(context.Background(), names, 0.05, 0, dir, ckpt, 0); err != nil {
+	if err := run(context.Background(), names, 0.05, 0, dir, ckpt, 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	// Complete run: checkpoint deleted.
@@ -81,7 +88,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	if err := checkpoint.Save(ckpt, fingerprint(names, 0.05, 0), stale, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), names, 0.1, 0, dir, ckpt, 0); err != nil {
+	if err := run(context.Background(), names, 0.1, 0, dir, ckpt, 0, noTel()); err != nil {
 		t.Fatalf("scale change with old checkpoint: %v", err)
 	}
 	if _, err := os.Stat(ckpt); err == nil {
@@ -90,7 +97,7 @@ func TestRunCheckpointResume(t *testing.T) {
 }
 
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run(context.Background(), []string{"nope-X"}, 0.05, 0, t.TempDir(), "", 0); err == nil {
+	if err := run(context.Background(), []string{"nope-X"}, 0.05, 0, t.TempDir(), "", 0, noTel()); err == nil {
 		t.Fatal("accepted unknown dataset")
 	}
 }

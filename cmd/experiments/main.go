@@ -33,17 +33,19 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1, fig3, table2, fig4..fig8, ext-lt, ext-methods), 'all' or 'ext'")
-		scale    = flag.Float64("scale", 0.25, "dataset scale (1.0 = paper sizes / ~20)")
-		samples  = flag.Int("samples", 200, "possible worlds ℓ (paper: 1000)")
-		evalSamp = flag.Int("eval-samples", 0, "held-out evaluation worlds (default: same as -samples)")
-		k        = flag.Int("k", 50, "maximum seed-set size (paper: 200)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		dsets    = flag.String("datasets", "", "comma-separated dataset subset (default: all 12)")
-		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
-		replicas = flag.Int("replicas", 0, "with -exp fig6: run this many dataset replicas and report mean±sd")
-		ckptDir  = flag.String("checkpoint", "", "checkpoint directory: index builds save progress there and a rerun resumes them")
-		deadline = flag.Duration("deadline", 0, "wall-clock budget shared by the whole run; past it, index builds degrade to partial indexes (notice on stderr)")
+		exp       = flag.String("exp", "all", "experiment id (table1, fig3, table2, fig4..fig8, ext-lt, ext-methods), 'all' or 'ext'")
+		scale     = flag.Float64("scale", 0.25, "dataset scale (1.0 = paper sizes / ~20)")
+		samples   = flag.Int("samples", 200, "possible worlds ℓ (paper: 1000)")
+		evalSamp  = flag.Int("eval-samples", 0, "held-out evaluation worlds (default: same as -samples)")
+		k         = flag.Int("k", 50, "maximum seed-set size (paper: 200)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		dsets     = flag.String("datasets", "", "comma-separated dataset subset (default: all 12)")
+		csvDir    = flag.String("csv", "", "also write figure series as CSV files into this directory")
+		replicas  = flag.Int("replicas", 0, "with -exp fig6: run this many dataset replicas and report mean±sd")
+		ckptDir   = flag.String("checkpoint", "", "checkpoint directory: index builds save progress there and a rerun resumes them")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget shared by the whole run; past it, index builds degrade to partial indexes (notice on stderr)")
+		debugAddr = flag.String("debug-addr", "", "serve Prometheus /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
+		statsJSON = flag.String("stats-json", "", "write the machine-readable run report (metrics, spans, run info) to this file on exit")
 	)
 	flag.Parse()
 
@@ -52,6 +54,16 @@ func main() {
 	// exits 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	rt, err := cliutil.StartTelemetry("experiments", *debugAddr, *statsJSON)
+	if err != nil {
+		cliutil.Fail("experiments", err)
+	}
+	rt.Registry.SetSeed(*seed)
+	rt.Registry.SetParam("exp", *exp)
+	rt.Registry.SetParam("scale", fmt.Sprint(*scale))
+	rt.Registry.SetParam("samples", fmt.Sprint(*samples))
+	rt.Registry.SetParam("k", fmt.Sprint(*k))
 
 	cfg := experiments.Config{
 		Scale:         *scale,
@@ -63,6 +75,7 @@ func main() {
 		Err:           os.Stderr,
 		Ctx:           ctx,
 		CheckpointDir: *ckptDir,
+		Telemetry:     rt.Registry,
 	}
 	if *deadline > 0 {
 		cfg.Budget = checkpoint.Budget{Deadline: time.Now().Add(*deadline)}
@@ -72,18 +85,19 @@ func main() {
 	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			cliutil.Fail("experiments", err)
+			rt.Finish(err)
 		}
 	}
 
 	fail := func(prefix string, err error) {
-		cliutil.Fail("experiments", fmt.Errorf("%s%w", prefix, err))
+		rt.Finish(fmt.Errorf("%s%w", prefix, err))
 	}
 
 	if *replicas > 0 && *exp == "fig6" {
 		if _, err := experiments.Fig6Replicated(cfg, *replicas); err != nil {
 			fail("fig6 replicated: ", err)
 		}
+		rt.Flush()
 		return
 	}
 
@@ -102,4 +116,5 @@ func main() {
 			fail(id+": ", err)
 		}
 	}
+	rt.Flush()
 }

@@ -45,18 +45,25 @@ func main() {
 		spherePth = flag.String("spheres", "", "load precomputed spheres (cmd/sphere -all -store) instead of recomputing")
 		ckptPath  = flag.String("checkpoint", "", "checkpoint file prefix: sampling phases periodically save progress there and a rerun resumes it")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget; when it nears, sampling stops and a best-effort partial result is returned (notice on stderr)")
+		debugAddr = flag.String("debug-addr", "", "serve Prometheus /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
+		statsJSON = flag.String("stats-json", "", "write the machine-readable run report (metrics, spans, run info) to this file on exit")
 	)
 	flag.Parse()
 	// Ctrl-C / SIGTERM cancel the context so long selections stop promptly;
 	// with -checkpoint their progress is flushed before exit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *graphPath, *k, *method, *compare, *samples, *evalSamp, *seed, *spherePth, *ckptPath, *deadline); err != nil {
+	rt, err := cliutil.StartTelemetry("infmax", *debugAddr, *statsJSON)
+	if err != nil {
 		cliutil.Fail("infmax", err)
 	}
+	if err := run(ctx, *graphPath, *k, *method, *compare, *samples, *evalSamp, *seed, *spherePth, *ckptPath, *deadline, rt); err != nil {
+		rt.Finish(err)
+	}
+	rt.Flush()
 }
 
-func run(ctx context.Context, graphPath string, k int, method string, compare bool, samples, evalSamples int, seed uint64, spherePath, ckptPath string, deadline time.Duration) error {
+func run(ctx context.Context, graphPath string, k int, method string, compare bool, samples, evalSamples int, seed uint64, spherePath, ckptPath string, deadline time.Duration, rt *cliutil.RunTelemetry) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -67,21 +74,29 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 	if evalSamples == 0 {
 		evalSamples = samples
 	}
+	rt.GraphHash(g)
+	tel := rt.Registry
+	tel.SetSeed(seed)
+	tel.SetParam("k", fmt.Sprint(k))
+	tel.SetParam("method", method)
+	tel.SetParam("samples", fmt.Sprint(samples))
+	tel.SetParam("eval_samples", fmt.Sprint(evalSamples))
 	// resume derives a per-phase checkpoint file from the -checkpoint prefix;
 	// partial (deadline-degraded) results are kept and reported on stderr.
 	resume := func(phase string) cliutil.Config {
 		if ckptPath == "" {
-			return cliutil.ResumeConfig("infmax", "", deadline)
+			return rt.ResumeConfig("", deadline)
 		}
-		return cliutil.ResumeConfig("infmax", ckptPath+phase, deadline)
+		return rt.ResumeConfig(ckptPath+phase, deadline)
 	}
 	idxCfg := resume(".idx")
 	x, err := cliutil.RetryStale("infmax", idxCfg.Path, func() (*index.Index, error) {
-		return index.BuildResumable(ctx, g, index.Options{Samples: samples, Seed: seed, TransitiveReduction: true}, idxCfg)
+		return index.BuildResumable(ctx, g, index.Options{Samples: samples, Seed: seed, TransitiveReduction: true, Telemetry: tel}, idxCfg)
 	})
 	if !cliutil.Partial("infmax", err) && err != nil {
 		return err
 	}
+	tel.SetSamplesAchieved(int64(x.NumWorlds()))
 
 	spheres := func() (infmax.Spheres, error) {
 		var results []core.Result
@@ -120,13 +135,13 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 			if err != nil {
 				return infmax.Selection{}, err
 			}
-			return infmax.TC(g, sp, k)
+			return infmax.TCTel(g, sp, k, tel)
 		case "std":
 			return infmax.Std(x, k)
 		case "rr":
 			cfg := resume(".rr")
 			sel, err := cliutil.RetryStale("infmax", cfg.Path, func() (infmax.Selection, error) {
-				return infmax.RRResumable(ctx, g, k, infmax.RROptions{Sets: 20 * samples, Seed: seed}, cfg)
+				return infmax.RRResumable(ctx, g, k, infmax.RROptions{Sets: 20 * samples, Seed: seed, Telemetry: tel}, cfg)
 			})
 			if cliutil.Partial("infmax", err) {
 				err = nil
@@ -172,7 +187,7 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 
 	evalCfg := resume(".eval")
 	eval, err := cliutil.RetryStale("infmax", evalCfg.Path, func() (*index.Index, error) {
-		return index.BuildResumable(ctx, g, index.Options{Samples: evalSamples, Seed: seed ^ 0xE7A1}, evalCfg)
+		return index.BuildResumable(ctx, g, index.Options{Samples: evalSamples, Seed: seed ^ 0xE7A1, Telemetry: tel}, evalCfg)
 	})
 	if !cliutil.Partial("infmax", err) && err != nil {
 		return err

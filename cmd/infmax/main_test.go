@@ -5,12 +5,19 @@ import (
 	"path/filepath"
 	"testing"
 
+	"soi/internal/cliutil"
 	"soi/internal/core"
 	"soi/internal/gen"
 	"soi/internal/graph"
 	"soi/internal/index"
 	"soi/internal/probs"
 )
+
+// noTel is the disabled telemetry lifecycle main builds when neither
+// -debug-addr nor -stats-json is given.
+func noTel() *cliutil.RunTelemetry {
+	return &cliutil.RunTelemetry{Tool: "infmax"}
+}
 
 func writeTestGraph(t *testing.T, dir string) (string, *graph.Graph) {
 	t.Helper()
@@ -33,14 +40,14 @@ func TestRunSingleMethods(t *testing.T) {
 	dir := t.TempDir()
 	gp, _ := writeTestGraph(t, dir)
 	for _, m := range []string{"tc", "std", "rr", "degree", "degreediscount", "random"} {
-		if err := run(context.Background(), gp, 3, m, false, 30, 30, 1, "", "", 0); err != nil {
+		if err := run(context.Background(), gp, 3, m, false, 30, 30, 1, "", "", 0, noTel()); err != nil {
 			t.Fatalf("method %s: %v", m, err)
 		}
 	}
-	if err := run(context.Background(), gp, 3, "nope", false, 30, 30, 1, "", "", 0); err == nil {
+	if err := run(context.Background(), gp, 3, "nope", false, 30, 30, 1, "", "", 0, noTel()); err == nil {
 		t.Error("accepted unknown method")
 	}
-	if err := run(context.Background(), "", 3, "tc", false, 30, 30, 1, "", "", 0); err == nil {
+	if err := run(context.Background(), "", 3, "tc", false, 30, 30, 1, "", "", 0, noTel()); err == nil {
 		t.Error("accepted missing graph")
 	}
 }
@@ -48,7 +55,7 @@ func TestRunSingleMethods(t *testing.T) {
 func TestRunCompare(t *testing.T) {
 	dir := t.TempDir()
 	gp, _ := writeTestGraph(t, dir)
-	if err := run(context.Background(), gp, 3, "tc", true, 30, 30, 1, "", "", 0); err != nil {
+	if err := run(context.Background(), gp, 3, "tc", true, 30, 30, 1, "", "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -64,11 +71,36 @@ func TestRunWithSphereStore(t *testing.T) {
 	if err := core.SaveSpheresFile(store, core.ComputeAll(x, core.Options{})); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, store, "", 0); err != nil {
+	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, store, "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	// A broken store path falls back to recomputation rather than failing.
-	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, filepath.Join(dir, "missing.bin"), "", 0); err != nil {
+	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, filepath.Join(dir, "missing.bin"), "", 0, noTel()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTelemetryCounters runs the TC method under an enabled registry and
+// checks that the greedy and sampling layers reported into it.
+func TestRunTelemetryCounters(t *testing.T) {
+	dir := t.TempDir()
+	gp, _ := writeTestGraph(t, dir)
+	rt, err := cliutil.StartTelemetry("infmax", "", filepath.Join(dir, "stats.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Flush()
+	if err := run(context.Background(), gp, 3, "tc", false, 30, 30, 1, "", "", 0, rt); err != nil {
+		t.Fatal(err)
+	}
+	rep := rt.Registry.Report()
+	if rep.Counters["infmax.gain_evals"] == 0 {
+		t.Fatal("greedy reported no gain evaluations")
+	}
+	if rep.Counters["worlds.sampled"] == 0 {
+		t.Fatal("index build reported no sampled worlds")
+	}
+	if rep.Counters["core.spheres_computed"] == 0 {
+		t.Fatal("sphere sweep reported no spheres")
 	}
 }

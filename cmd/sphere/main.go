@@ -55,6 +55,8 @@ func main() {
 		modes       = flag.Int("modes", 0, "with -node: also report up to this many cascade modes (die-out vs take-off)")
 		ckptPath    = flag.String("checkpoint", "", "checkpoint file prefix: long phases periodically save progress there and a rerun resumes it")
 		deadline    = flag.Duration("deadline", 0, "wall-clock budget; when it nears, sampling stops and a best-effort partial result is returned (notice on stderr)")
+		debugAddr   = flag.String("debug-addr", "", "serve Prometheus /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
+		statsJSON   = flag.String("stats-json", "", "write the machine-readable run report (metrics, spans, run info) to this file on exit")
 	)
 	flag.Parse()
 	// Ctrl-C / SIGTERM cancel the context: compute workers stop promptly,
@@ -62,16 +64,21 @@ func main() {
 	// files — written atomically — are never left truncated.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *graphPath, *node, *all, *samples, *costSamples, *seed,
-		*algorithm, *indexPath, *buildIndex, !*noTransRed, *ltModel, *outPath, *storePath, *modes,
-		*ckptPath, *deadline); err != nil {
+	rt, err := cliutil.StartTelemetry("sphere", *debugAddr, *statsJSON)
+	if err != nil {
 		cliutil.Fail("sphere", err)
 	}
+	if err := run(ctx, *graphPath, *node, *all, *samples, *costSamples, *seed,
+		*algorithm, *indexPath, *buildIndex, !*noTransRed, *ltModel, *outPath, *storePath, *modes,
+		*ckptPath, *deadline, rt); err != nil {
+		rt.Finish(err)
+	}
+	rt.Flush()
 }
 
 func run(ctx context.Context, graphPath string, node int, all bool, samples, costSamples int, seed uint64,
 	algorithm, indexPath, buildIndexPath string, transRed, lt bool, outPath, storePath string, modes int,
-	ckptPath string, deadline time.Duration) error {
+	ckptPath string, deadline time.Duration, rt *cliutil.RunTelemetry) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -79,6 +86,12 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 	if err != nil {
 		return err
 	}
+	rt.GraphHash(g)
+	tel := rt.Registry
+	tel.SetSeed(seed)
+	tel.SetParam("samples", fmt.Sprint(samples))
+	tel.SetParam("algorithm", algorithm)
+	tel.SetParam("cost_samples", fmt.Sprint(costSamples))
 
 	var alg core.MedianAlgorithm
 	switch algorithm {
@@ -95,18 +108,22 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 	var x *index.Index
 	if indexPath != "" {
 		x, err = index.LoadFile(indexPath, g)
+		if err == nil {
+			x.SetTelemetry(tel)
+		}
 	} else {
 		model := index.IC
 		if lt {
 			model = index.LT
 		}
-		cfg := cliutil.ResumeConfig("sphere", suffix(ckptPath, ".idx"), deadline)
+		cfg := rt.ResumeConfig(suffix(ckptPath, ".idx"), deadline)
 		x, err = cliutil.RetryStale("sphere", cfg.Path, func() (*index.Index, error) {
 			return index.BuildResumable(ctx, g, index.Options{
 				Samples:             samples,
 				Seed:                seed,
 				TransitiveReduction: transRed,
 				Model:               model,
+				Telemetry:           tel,
 			}, cfg)
 		})
 		if cliutil.Partial("sphere", err) {
@@ -116,6 +133,7 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 	if err != nil {
 		return err
 	}
+	tel.SetSamplesAchieved(int64(x.NumWorlds()))
 	if buildIndexPath != "" {
 		if err := x.SaveFile(buildIndexPath); err != nil {
 			return err
@@ -154,7 +172,7 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 
 	switch {
 	case all:
-		cfg := cliutil.ResumeConfig("sphere", suffix(ckptPath, ".all"), deadline)
+		cfg := rt.ResumeConfig(suffix(ckptPath, ".all"), deadline)
 		results, err := cliutil.RetryStale("sphere", cfg.Path, func() ([]core.Result, error) {
 			return core.ComputeAllResumable(ctx, x, opts, cfg)
 		})

@@ -2,15 +2,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"soi/internal/cliutil"
 	"soi/internal/gen"
 	"soi/internal/graph"
 	"soi/internal/probs"
+	"soi/internal/telemetry"
 )
+
+// noTel is the disabled telemetry lifecycle every non-telemetry test runs
+// under — the same object main builds when neither flag is given.
+func noTel() *cliutil.RunTelemetry {
+	return &cliutil.RunTelemetry{Tool: "sphere"}
+}
 
 func writeTestGraph(t *testing.T, dir string) string {
 	t.Helper()
@@ -33,7 +42,7 @@ func TestRunSingleNode(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "out.txt")
-	if err := run(context.Background(), gp, 5, false, 50, 50, 1, "prefix", "", "", true, false, out, "", 2, "", 0); err != nil {
+	if err := run(context.Background(), gp, 5, false, 50, 50, 1, "prefix", "", "", true, false, out, "", 2, "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -54,7 +63,7 @@ func TestRunAllWithStore(t *testing.T) {
 	gp := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "out.txt")
 	store := filepath.Join(dir, "spheres.bin")
-	if err := run(context.Background(), gp, -1, true, 30, 0, 1, "prefix", "", "", true, false, out, store, 0, "", 0); err != nil {
+	if err := run(context.Background(), gp, -1, true, 30, 0, 1, "prefix", "", "", true, false, out, store, 0, "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(store); err != nil {
@@ -66,11 +75,11 @@ func TestRunIndexRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
 	idx := filepath.Join(dir, "idx.bin")
-	if err := run(context.Background(), gp, -1, false, 30, 0, 1, "prefix", "", idx, true, false, "", "", 0, "", 0); err != nil {
+	if err := run(context.Background(), gp, -1, false, 30, 0, 1, "prefix", "", idx, true, false, "", "", 0, "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.txt")
-	if err := run(context.Background(), gp, 3, false, 0, 0, 1, "prefix", idx, "", true, false, out, "", 0, "", 0); err != nil {
+	if err := run(context.Background(), gp, 3, false, 0, 0, 1, "prefix", idx, "", true, false, out, "", 0, "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -83,7 +92,7 @@ func TestRunLTModel(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir) // WC weights: valid LT input
 	out := filepath.Join(dir, "out.txt")
-	if err := run(context.Background(), gp, 2, false, 30, 20, 1, "prefix", "", "", true, true, out, "", 0, "", 0); err != nil {
+	if err := run(context.Background(), gp, 2, false, 30, 20, 1, "prefix", "", "", true, true, out, "", 0, "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -99,13 +108,13 @@ func TestRunCheckpointDeadline(t *testing.T) {
 	ckpt := filepath.Join(dir, "run.ckpt")
 	// 1ns: the deadline has passed by the time sampling starts, so the run
 	// degrades immediately but still completes at least one unit per phase.
-	if err := run(context.Background(), gp, -1, true, 40, 0, 1, "prefix", "", "", true, false, out, "", 0, ckpt, 1); err != nil {
+	if err := run(context.Background(), gp, -1, true, 40, 0, 1, "prefix", "", "", true, false, out, "", 0, ckpt, 1, noTel()); err != nil {
 		t.Fatalf("degraded run failed hard: %v", err)
 	}
 	if _, err := os.Stat(ckpt + ".all"); err != nil {
 		t.Fatalf("sweep checkpoint missing after degraded run: %v", err)
 	}
-	if err := run(context.Background(), gp, -1, true, 40, 0, 1, "prefix", "", "", true, false, out, "", 0, ckpt, 0); err != nil {
+	if err := run(context.Background(), gp, -1, true, 40, 0, 1, "prefix", "", "", true, false, out, "", 0, ckpt, 0, noTel()); err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
 	for _, suffix := range []string{".idx", ".all"} {
@@ -122,19 +131,60 @@ func TestRunCheckpointDeadline(t *testing.T) {
 	}
 }
 
+// TestRunStatsJSON runs a full sweep under an enabled telemetry lifecycle
+// and checks the flushed report: schema, run info, and the core counters the
+// sweep must have produced.
+func TestRunStatsJSON(t *testing.T) {
+	dir := t.TempDir()
+	gp := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "out.txt")
+	stats := filepath.Join(dir, "stats.json")
+	rt, err := cliutil.StartTelemetry("sphere", "", stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), gp, -1, true, 30, 0, 1, "prefix", "", "", true, false, out, "", 0, "", 0, rt); err != nil {
+		t.Fatal(err)
+	}
+	rt.Flush()
+	b, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetry.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("stats file is not valid JSON: %v", err)
+	}
+	if rep.Schema != telemetry.ReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.RunInfo.Tool != "sphere" || rep.RunInfo.GraphHash == "" || rep.RunInfo.SamplesAchieved != 30 {
+		t.Fatalf("run info incomplete: %+v", rep.RunInfo)
+	}
+	if rep.Counters["worlds.sampled"] != 30 {
+		t.Fatalf("worlds.sampled = %d", rep.Counters["worlds.sampled"])
+	}
+	if rep.Counters["core.spheres_computed"] != 40 {
+		t.Fatalf("core.spheres_computed = %d", rep.Counters["core.spheres_computed"])
+	}
+	if len(rep.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
-	if err := run(context.Background(), "", 1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, "", 0); err == nil {
+	if err := run(context.Background(), "", 1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, "", 0, noTel()); err == nil {
 		t.Error("accepted missing graph")
 	}
-	if err := run(context.Background(), gp, 1, false, 10, 0, 1, "nope", "", "", true, false, "", "", 0, "", 0); err == nil {
+	if err := run(context.Background(), gp, 1, false, 10, 0, 1, "nope", "", "", true, false, "", "", 0, "", 0, noTel()); err == nil {
 		t.Error("accepted unknown algorithm")
 	}
-	if err := run(context.Background(), gp, 999, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, "", 0); err == nil {
+	if err := run(context.Background(), gp, 999, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, "", 0, noTel()); err == nil {
 		t.Error("accepted out-of-range node")
 	}
-	if err := run(context.Background(), gp, -1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, "", 0); err == nil {
+	if err := run(context.Background(), gp, -1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, "", 0, noTel()); err == nil {
 		t.Error("accepted neither -node nor -all")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"soi/internal/index"
 	"soi/internal/pool"
 	"soi/internal/rng"
+	"soi/internal/telemetry"
 )
 
 // Activation records one node activation during a simulation.
@@ -75,6 +76,13 @@ func ExpectedSpread(g *graph.Graph, seeds []graph.NodeID, trials int, seed uint6
 // check ctx between simulations, so a canceled context returns ctx.Err()
 // promptly. Worker panics are recovered into a *pool.PanicError.
 func ExpectedSpreadCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, trials int, seed uint64, workers int) (float64, error) {
+	return ExpectedSpreadTel(ctx, g, seeds, trials, seed, workers, nil)
+}
+
+// ExpectedSpreadTel is ExpectedSpreadCtx with telemetry: tel (nil allowed)
+// receives per-trial cascade sizes (cascade.size), a trial counter
+// (cascade.trials), pool utilization, and a "cascade.expected_spread" span.
+func ExpectedSpreadTel(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, trials int, seed uint64, workers int, tel *telemetry.Registry) (float64, error) {
 	if trials <= 0 {
 		return 0, ctx.Err()
 	}
@@ -88,13 +96,21 @@ func ExpectedSpreadCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID
 	w := pool.Workers(workers, trials)
 	totals := make([]int64, w)
 	visiteds := make([][]bool, w)
-	err := pool.Run(ctx, trials, pool.Options{Workers: w}, func(worker, i int) error {
+	mTrials := tel.Counter("cascade.trials")
+	mSize := tel.Histogram("cascade.size")
+	sp := tel.StartSpan("cascade.expected_spread")
+	defer sp.End()
+	err := pool.Run(ctx, trials, pool.Options{Workers: w, Telemetry: tel}, func(worker, i int) error {
 		visited := visiteds[worker]
 		if visited == nil {
 			visited = make([]bool, g.NumNodes())
 			visiteds[worker] = visited
 		}
-		totals[worker] += int64(simulateSize(g, seeds, gens[i], visited))
+		size := simulateSize(g, seeds, gens[i], visited)
+		totals[worker] += int64(size)
+		mTrials.Inc()
+		mSize.Observe(int64(size))
+		sp.AddUnits(1)
 		return nil
 	})
 	if err != nil {

@@ -67,7 +67,11 @@ func ExpectedSpreadResumable(ctx context.Context, g *graph.Graph, seeds []graph.
 
 	w := pool.Workers(workers, trials)
 	visiteds := make([][]bool, w)
-	runErr := pool.Run(ctx, trials, pool.Options{Workers: w}, func(worker, i int) error {
+	tel := cfg.Telemetry
+	mTrials := tel.Counter("cascade.trials")
+	mSize := tel.Histogram("cascade.size")
+	sp := tel.StartSpan("cascade.expected_spread")
+	runErr := pool.Run(ctx, trials, pool.Options{Workers: w, Telemetry: tel}, func(worker, i int) error {
 		if resumed.Get(i) {
 			return nil
 		}
@@ -81,9 +85,13 @@ func ExpectedSpreadResumable(ctx context.Context, g *graph.Graph, seeds []graph.
 		}
 		size := int64(simulateSize(g, seeds, gens[i], visited))
 		sums[i] = size
+		mTrials.Inc()
+		mSize.Observe(size)
+		sp.AddUnits(1)
 		r.MarkDone(i, nil)
 		return nil
 	})
+	sp.End()
 
 	mean := func(done *checkpoint.Bitmap) float64 {
 		total := resumedTotal

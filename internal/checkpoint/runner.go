@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"soi/internal/fault"
+	"soi/internal/telemetry"
 )
 
 // Budget bounds a run by wall-clock deadline while demanding a minimum
@@ -103,6 +104,11 @@ type Config struct {
 	// OnResume, if non-nil, is called once after a checkpoint is loaded,
 	// with the number of already-completed units and the total.
 	OnResume func(done, total int)
+	// Telemetry, if non-nil, receives flush metrics (checkpoint.flushes,
+	// flush_errors, flushed_bytes, flush_ns) and is forwarded to the compute
+	// path the Config drives — every …Resumable API adopts it when its own
+	// options carry no registry.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) flushInterval() time.Duration {
@@ -312,10 +318,18 @@ func (r *Runner) flushOnce() {
 	snap := r.done.Clone()
 	r.mu.Unlock()
 
+	start := time.Now()
 	payload, err := r.encode(snap)
 	if err == nil {
 		err = Save(r.cfg.Path, r.fp, snap, payload)
 	}
+	if err == nil {
+		r.cfg.Telemetry.Counter("checkpoint.flushes").Inc()
+		r.cfg.Telemetry.Counter("checkpoint.flushed_bytes").Add(int64(len(payload)))
+	} else {
+		r.cfg.Telemetry.Counter("checkpoint.flush_errors").Inc()
+	}
+	r.cfg.Telemetry.Histogram("checkpoint.flush_ns").Observe(time.Since(start).Nanoseconds())
 
 	r.errMu.Lock()
 	if err != nil && r.flushErr == nil {

@@ -1,0 +1,116 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"soi/internal/atomicfile"
+	"soi/internal/checkpoint"
+	"soi/internal/graph"
+	"soi/internal/telemetry"
+)
+
+// RunTelemetry is a command's telemetry lifecycle: an optional metrics
+// registry (nil when neither -debug-addr nor -stats-json was given — all
+// instrumentation downstream then no-ops), an optional debug HTTP server,
+// and an exactly-once final report flush that runs on every exit path,
+// including Fail's os.Exit shortcuts.
+type RunTelemetry struct {
+	// Tool is the command name, used in stderr notices.
+	Tool string
+	// Registry is the metrics registry handed to the compute layers; nil
+	// when telemetry is disabled.
+	Registry *telemetry.Registry
+
+	statsPath string
+	server    *telemetry.DebugServer
+	flushOnce sync.Once
+}
+
+// StartTelemetry builds the telemetry lifecycle from the -debug-addr and
+// -stats-json flags. With both empty it returns a disabled lifecycle whose
+// Registry is nil, so the per-event overhead everywhere downstream is a
+// single nil check. The debug server (Prometheus /metrics, expvar, pprof)
+// starts immediately; its resolved address is announced on stderr.
+func StartTelemetry(tool, debugAddr, statsPath string) (*RunTelemetry, error) {
+	t := &RunTelemetry{Tool: tool, statsPath: statsPath}
+	if debugAddr == "" && statsPath == "" {
+		return t, nil
+	}
+	t.Registry = telemetry.New()
+	t.Registry.SetTool(tool)
+	telemetry.PublishExpvar("soi", t.Registry)
+	if debugAddr != "" {
+		srv, err := telemetry.Serve(debugAddr, t.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("%s: debug server: %w", tool, err)
+		}
+		t.server = srv
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", tool, srv.Addr)
+	}
+	return t, nil
+}
+
+// Flush writes the final report exactly once: the JSON report to the
+// -stats-json path (atomically), the human-readable table to stderr, and
+// shuts down the debug server. Safe to call multiple times and on a
+// disabled (Registry == nil) lifecycle. Flush failures are reported on
+// stderr but never change the command's exit code — telemetry must not turn
+// a successful run into a failed one.
+func (t *RunTelemetry) Flush() {
+	t.flushOnce.Do(func() {
+		if t.Registry == nil {
+			return
+		}
+		rep := t.Registry.Report()
+		if t.statsPath != "" {
+			err := atomicfile.WriteFile(t.statsPath, func(w io.Writer) error {
+				b, err := rep.JSON()
+				if err != nil {
+					return err
+				}
+				_, err = w.Write(b)
+				return err
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing stats to %s: %v\n", t.Tool, t.statsPath, err)
+			}
+		}
+		rep.WriteTable(os.Stderr)
+		if t.server != nil {
+			if err := t.server.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: closing debug server: %v\n", t.Tool, err)
+			}
+		}
+	})
+}
+
+// Finish flushes telemetry and then exits through Fail. Use it instead of
+// Fail on every error path once telemetry has started, so interrupted
+// (exit 130) and failed runs still leave a report behind.
+func (t *RunTelemetry) Finish(err error) {
+	t.Flush()
+	Fail(t.Tool, err)
+}
+
+// ResumeConfig is the package-level ResumeConfig with the lifecycle's
+// registry attached, so resumable compute paths driven by the returned
+// config feed the same metrics as direct calls.
+func (t *RunTelemetry) ResumeConfig(path string, deadline time.Duration) checkpoint.Config {
+	cfg := ResumeConfig(t.Tool, path, deadline)
+	cfg.Telemetry = t.Registry
+	return cfg
+}
+
+// GraphHash records the loaded graph's content hash in the run report, so a
+// report can be matched to its exact input. No-op when telemetry is
+// disabled.
+func (t *RunTelemetry) GraphHash(g *graph.Graph) {
+	if t.Registry == nil || g == nil {
+		return
+	}
+	t.Registry.SetGraphHash(checkpoint.NewHasher().Graph(g).Sum())
+}

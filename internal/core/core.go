@@ -30,8 +30,72 @@ import (
 	"soi/internal/jaccard"
 	"soi/internal/pool"
 	"soi/internal/rng"
+	"soi/internal/telemetry"
 	"soi/internal/worlds"
 )
+
+// telemetryFor resolves the registry for a computation: explicit options
+// win, then whatever the index carries. May return nil (disabled).
+func telemetryFor(x *index.Index, opts Options) *telemetry.Registry {
+	if opts.Telemetry != nil {
+		return opts.Telemetry
+	}
+	return x.Telemetry()
+}
+
+// metricsSet holds the per-sphere instrumentation handles, resolved once
+// per computation so the per-node path never touches the registry maps. A
+// nil *metricsSet disables everything.
+type metricsSet struct {
+	spheres     *telemetry.Counter   // core.spheres_computed
+	sphereSize  *telemetry.Histogram // core.sphere_size
+	medianEvals *telemetry.Counter   // jaccard.median_evals
+	refineDelta *telemetry.Histogram // jaccard.refine_delta_ppm
+	medianNS    *telemetry.Histogram // core.median_ns
+	costNS      *telemetry.Histogram // core.cost_ns
+	wm          *worlds.Metrics
+}
+
+func newMetricsSet(tel *telemetry.Registry) *metricsSet {
+	if tel == nil {
+		return nil
+	}
+	return &metricsSet{
+		spheres:     tel.Counter("core.spheres_computed"),
+		sphereSize:  tel.Histogram("core.sphere_size"),
+		medianEvals: tel.Counter("jaccard.median_evals"),
+		refineDelta: tel.Histogram("jaccard.refine_delta_ppm"),
+		medianNS:    tel.Histogram("core.median_ns"),
+		costNS:      tel.Histogram("core.cost_ns"),
+		wm:          worlds.NewMetrics(tel),
+	}
+}
+
+// observe records one computed sphere.
+func (m *metricsSet) observe(res *Result, med jaccard.Median) {
+	if m == nil {
+		return
+	}
+	m.spheres.Inc()
+	m.sphereSize.Observe(int64(len(res.Set)))
+	m.medianEvals.Add(int64(med.Evals))
+	if med.Delta > 0 {
+		// Cost deltas are fractions in [0,1]; store parts-per-million so the
+		// log-scale buckets resolve them.
+		m.refineDelta.Observe(int64(med.Delta * 1e6))
+	}
+	m.medianNS.Observe(res.MedianTime.Nanoseconds())
+	if res.CostTime > 0 {
+		m.costNS.Observe(res.CostTime.Nanoseconds())
+	}
+}
+
+func (m *metricsSet) worldMetrics() *worlds.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.wm
+}
 
 // MedianAlgorithm selects how the Jaccard median of the sampled cascades is
 // computed.
@@ -87,6 +151,11 @@ type Options struct {
 	// It must match the model the index was built with; the zero value is
 	// IC.
 	Model index.Model
+	// Telemetry, if non-nil, receives sphere metrics (spheres computed,
+	// sphere sizes, median candidate evaluations, refinement deltas, median
+	// and cost-estimate timings) plus a "core.compute_all" span. When nil,
+	// the registry attached to the index (if any) is used instead.
+	Telemetry *telemetry.Registry
 }
 
 // Result is the typical cascade (sphere of influence) of a source.
@@ -116,7 +185,7 @@ func (r *Result) Size() int { return len(r.Set) }
 // in the index.
 func Compute(x *index.Index, v graph.NodeID, opts Options) Result {
 	s := x.NewScratch()
-	return computeWithScratch(x, []graph.NodeID{v}, opts, s)
+	return computeWithScratch(x, []graph.NodeID{v}, opts, s, newMetricsSet(telemetryFor(x, opts)))
 }
 
 // ComputeFromSet returns the typical cascade of a seed set (the paper's §5
@@ -124,10 +193,10 @@ func Compute(x *index.Index, v graph.NodeID, opts Options) Result {
 // cascade).
 func ComputeFromSet(x *index.Index, seeds []graph.NodeID, opts Options) Result {
 	s := x.NewScratch()
-	return computeWithScratch(x, seeds, opts, s)
+	return computeWithScratch(x, seeds, opts, s, newMetricsSet(telemetryFor(x, opts)))
 }
 
-func computeWithScratch(x *index.Index, seeds []graph.NodeID, opts Options, s *index.Scratch) Result {
+func computeWithScratch(x *index.Index, seeds []graph.NodeID, opts Options, s *index.Scratch, m *metricsSet) Result {
 	start := time.Now()
 	samples := x.CascadesFromSet(seeds, s)
 	med := computeMedian(samples, opts.Algorithm)
@@ -140,9 +209,10 @@ func computeWithScratch(x *index.Index, seeds []graph.NodeID, opts Options, s *i
 	}
 	if opts.CostSamples > 0 {
 		cs := time.Now()
-		res.ExpectedCost = EstimateCostModel(x.Graph(), seeds, med.Set, opts.CostSamples, opts.CostSeed, opts.Model)
+		res.ExpectedCost = estimateCostMetered(x.Graph(), seeds, med.Set, opts.CostSamples, opts.CostSeed, opts.Model, m.worldMetrics())
 		res.CostTime = time.Since(cs)
 	}
+	m.observe(&res, med)
 	return res
 }
 
@@ -172,6 +242,10 @@ func EstimateCost(g *graph.Graph, seeds []graph.NodeID, set []graph.NodeID, samp
 // per sample (LT's one-in-edge coupling cannot be sampled edge-by-edge
 // during a forward traversal).
 func EstimateCostModel(g *graph.Graph, seeds []graph.NodeID, set []graph.NodeID, samples int, seed uint64, model index.Model) float64 {
+	return estimateCostMetered(g, seeds, set, samples, seed, model, nil)
+}
+
+func estimateCostMetered(g *graph.Graph, seeds []graph.NodeID, set []graph.NodeID, samples int, seed uint64, model index.Model, wm *worlds.Metrics) float64 {
 	if samples <= 0 {
 		return -1
 	}
@@ -182,10 +256,10 @@ func EstimateCostModel(g *graph.Graph, seeds []graph.NodeID, set []graph.NodeID,
 	for i := 0; i < samples; i++ {
 		r := master.Split(uint64(i))
 		if model == index.LT {
-			w := worlds.SampleLT(g, r)
+			w := worlds.SampleLTMetered(g, r, wm)
 			buf = w.ReachableFromSet(seeds, visited, buf[:0])
 		} else {
-			buf = worlds.SampleCascadeFromSet(g, seeds, r, visited, buf[:0])
+			buf = worlds.SampleCascadeFromSetMetered(g, seeds, r, visited, buf[:0], wm)
 		}
 		total += jaccard.Distance(set, buf)
 	}
@@ -212,7 +286,11 @@ func ComputeAllCtx(ctx context.Context, x *index.Index, opts Options) ([]Result,
 	out := make([]Result, n)
 	workers := pool.Workers(opts.Workers, n)
 	scratches := make([]*index.Scratch, workers)
-	err := pool.Run(ctx, n, pool.Options{Workers: workers, Progress: opts.Progress},
+	tel := telemetryFor(x, opts)
+	m := newMetricsSet(tel)
+	sp := tel.StartSpan("core.compute_all")
+	defer sp.End()
+	err := pool.Run(ctx, n, pool.Options{Workers: workers, Progress: opts.Progress, Telemetry: tel},
 		func(worker, task int) error {
 			s := scratches[worker]
 			if s == nil {
@@ -226,7 +304,8 @@ func ComputeAllCtx(ctx context.Context, x *index.Index, opts Options) ([]Result,
 				// held-out estimates are independent across nodes.
 				o.CostSeed = rng.Mix64(opts.CostSeed ^ uint64(v))
 			}
-			out[v] = computeWithScratch(x, []graph.NodeID{v}, o, s)
+			out[v] = computeWithScratch(x, []graph.NodeID{v}, o, s, m)
+			sp.AddUnits(1)
 			return nil
 		})
 	if err != nil {

@@ -66,7 +66,13 @@ func ComputeAllResumable(ctx context.Context, x *index.Index, opts Options, cfg 
 
 	workers := pool.Workers(opts.Workers, n)
 	scratches := make([]*index.Scratch, workers)
-	runErr := pool.Run(ctx, n, pool.Options{Workers: workers, Progress: opts.Progress},
+	if opts.Telemetry == nil {
+		opts.Telemetry = cfg.Telemetry
+	}
+	tel := telemetryFor(x, opts)
+	m := newMetricsSet(tel)
+	sp := tel.StartSpan("core.compute_all")
+	runErr := pool.Run(ctx, n, pool.Options{Workers: workers, Progress: opts.Progress, Telemetry: tel},
 		func(worker, task int) error {
 			if resumed.Get(task) {
 				return nil
@@ -84,10 +90,12 @@ func ComputeAllResumable(ctx context.Context, x *index.Index, opts Options, cfg 
 			if o.CostSamples > 0 {
 				o.CostSeed = rng.Mix64(opts.CostSeed ^ uint64(v))
 			}
-			out[v] = computeWithScratch(x, []graph.NodeID{v}, o, s)
+			out[v] = computeWithScratch(x, []graph.NodeID{v}, o, s, m)
+			sp.AddUnits(1)
 			r.MarkDone(task, nil)
 			return nil
 		})
+	sp.End()
 
 	switch {
 	case runErr == nil:

@@ -29,6 +29,7 @@ import (
 	"soi/internal/graph"
 	"soi/internal/index"
 	"soi/internal/infmax"
+	"soi/internal/telemetry"
 )
 
 // Config controls experiment scale. The zero value selects a fast
@@ -68,6 +69,10 @@ type Config struct {
 	// Err receives resume and partial-result notices (they never go to Out,
 	// which carries the tables); nil discards them.
 	Err io.Writer
+	// Telemetry, if non-nil, receives metrics and spans from every compute
+	// phase the experiments drive (world sampling, index builds, greedy
+	// selections, Monte-Carlo evaluation).
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) defaults() {
@@ -145,7 +150,8 @@ func (c *Config) errw() io.Writer {
 // (dataset, world-tag, ℓ) builds of one experiment run never collide and a
 // changed configuration starts fresh instead of resuming stale state.
 func (c *Config) buildResumable(g *graph.Graph, opts index.Options) (*index.Index, error) {
-	cfg := checkpoint.Config{Budget: c.Budget}
+	opts.Telemetry = c.Telemetry
+	cfg := checkpoint.Config{Budget: c.Budget, Telemetry: c.Telemetry}
 	if c.CheckpointDir != "" {
 		cfg.Path = filepath.Join(c.CheckpointDir, fmt.Sprintf("idx-%016x.ckpt", index.BuildFingerprint(g, opts)))
 		cfg.OnResume = func(done, total int) {
@@ -171,7 +177,7 @@ const (
 // mcOptions configures the paper-faithful Monte-Carlo greedy: the same
 // number of samples as the index, fresh at every marginal-gain evaluation.
 func (c *Config) mcOptions() infmax.MCOptions {
-	return infmax.MCOptions{Trials: c.Samples, Seed: c.Seed ^ 0x57D0_57D0}
+	return infmax.MCOptions{Trials: c.Samples, Seed: c.Seed ^ 0x57D0_57D0, Telemetry: c.Telemetry}
 }
 
 // stdMC runs the paper's InfMax_std (Monte-Carlo CELF greedy).

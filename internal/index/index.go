@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"soi/internal/graph"
 	"soi/internal/pool"
 	"soi/internal/rng"
 	"soi/internal/scc"
+	"soi/internal/telemetry"
 	"soi/internal/worlds"
 )
 
@@ -64,6 +66,11 @@ type Options struct {
 	MaxExactReduction int
 	// Model selects IC (default) or LT live-edge sampling.
 	Model Model
+	// Telemetry, if non-nil, receives build metrics (worlds sampled, SCC
+	// condensation sizes, per-world build timings, pool utilization) and an
+	// "index.build" phase span. The registry is retained on the built Index
+	// so query-time consumers (greedy selection) meter against it too.
+	Telemetry *telemetry.Registry
 }
 
 // worldEntry is the per-world part of the index.
@@ -79,10 +86,19 @@ type worldEntry struct {
 type Index struct {
 	g       *graph.Graph
 	entries []worldEntry
+	tel     *telemetry.Registry
 
 	fpOnce sync.Once
 	fp     uint64
 }
+
+// SetTelemetry attaches a registry to an index (typically one loaded from
+// disk, which has none) so greedy selection over it can be metered.
+func (x *Index) SetTelemetry(reg *telemetry.Registry) { x.tel = reg }
+
+// Telemetry returns the registry attached at build or SetTelemetry time;
+// nil means unmetered.
+func (x *Index) Telemetry() *telemetry.Registry { return x.tel }
 
 // Build samples opts.Samples possible worlds of g and indexes them. It is
 // BuildCtx under context.Background().
@@ -108,7 +124,7 @@ func BuildCtx(ctx context.Context, g *graph.Graph, opts Options) (*Index, error)
 		g.Reverse()
 	}
 
-	idx := &Index{g: g, entries: make([]worldEntry, opts.Samples)}
+	idx := &Index{g: g, entries: make([]worldEntry, opts.Samples), tel: opts.Telemetry}
 	master := rng.New(opts.Seed)
 	// Pre-split generators so world i is reproducible regardless of the
 	// worker that processes it.
@@ -117,9 +133,14 @@ func BuildCtx(ctx context.Context, g *graph.Graph, opts Options) (*Index, error)
 		gens[i] = master.Split(uint64(i))
 	}
 
-	err := pool.Run(ctx, opts.Samples, pool.Options{Workers: opts.Workers, Progress: opts.Progress},
+	bm := newBuildMetrics(opts.Telemetry)
+	sp := opts.Telemetry.StartSpan("index.build")
+	defer sp.End()
+	err := pool.Run(ctx, opts.Samples,
+		pool.Options{Workers: opts.Workers, Progress: opts.Progress, Telemetry: opts.Telemetry},
 		func(_, i int) error {
-			idx.entries[i] = buildEntry(g, gens[i], opts)
+			idx.entries[i] = buildEntry(g, gens[i], opts, bm)
+			sp.AddUnits(1)
 			return nil
 		})
 	if err != nil {
@@ -128,12 +149,32 @@ func BuildCtx(ctx context.Context, g *graph.Graph, opts Options) (*Index, error)
 	return idx, nil
 }
 
-func buildEntry(g *graph.Graph, r *rng.PCG32, opts Options) worldEntry {
+// buildMetrics carries per-world build instrumentation. The zero value
+// (all-nil handles) is the disabled state.
+type buildMetrics struct {
+	wm    *worlds.Metrics
+	comps *telemetry.Histogram // index.components: condensation sizes
+	nanos *telemetry.Histogram // index.world_build_ns: per-world build time
+}
+
+func newBuildMetrics(tel *telemetry.Registry) buildMetrics {
+	return buildMetrics{
+		wm:    worlds.NewMetrics(tel),
+		comps: tel.Histogram("index.components"),
+		nanos: tel.Histogram("index.world_build_ns"),
+	}
+}
+
+func buildEntry(g *graph.Graph, r *rng.PCG32, opts Options, bm buildMetrics) worldEntry {
+	var start time.Time
+	if bm.nanos != nil {
+		start = time.Now()
+	}
 	var world *worlds.World
 	if opts.Model == LT {
-		world = worlds.SampleLT(g, r)
+		world = worlds.SampleLTMetered(g, r, bm.wm)
 	} else {
-		world = worlds.Sample(g, r)
+		world = worlds.SampleMetered(g, r, bm.wm)
 	}
 	dec := scc.Tarjan(world)
 	dag := scc.Condense(world, dec)
@@ -156,6 +197,10 @@ func buildEntry(g *graph.Graph, r *rng.PCG32, opts Options) worldEntry {
 		c := dec.Comp[v]
 		members[cursor[c]] = v
 		cursor[c]++
+	}
+	bm.comps.Observe(int64(dec.NumComps))
+	if bm.nanos != nil {
+		bm.nanos.Observe(time.Since(start).Nanoseconds())
 	}
 	return worldEntry{comp: dec.Comp, memberOff: off, members: members, dag: dag}
 }

@@ -40,7 +40,12 @@ func BuildResumable(ctx context.Context, g *graph.Graph, opts Options, cfg check
 		g.Reverse()
 	}
 
-	idx := &Index{g: g, entries: make([]worldEntry, opts.Samples)}
+	// The registry can arrive on either options struct; the checkpoint Config
+	// is how cliutil threads it into resumable paths.
+	if opts.Telemetry == nil {
+		opts.Telemetry = cfg.Telemetry
+	}
+	idx := &Index{g: g, entries: make([]worldEntry, opts.Samples), tel: opts.Telemetry}
 	master := rng.New(opts.Seed)
 	gens := make([]*rng.PCG32, opts.Samples)
 	for i := range gens {
@@ -77,7 +82,10 @@ func BuildResumable(ctx context.Context, g *graph.Graph, opts Options, cfg check
 		resumed = st.Done
 	}
 
-	runErr := pool.Run(ctx, opts.Samples, pool.Options{Workers: opts.Workers, Progress: opts.Progress},
+	bm := newBuildMetrics(opts.Telemetry)
+	sp := opts.Telemetry.StartSpan("index.build")
+	runErr := pool.Run(ctx, opts.Samples,
+		pool.Options{Workers: opts.Workers, Progress: opts.Progress, Telemetry: opts.Telemetry},
 		func(_, i int) error {
 			if resumed.Get(i) {
 				return nil
@@ -85,10 +93,12 @@ func BuildResumable(ctx context.Context, g *graph.Graph, opts Options, cfg check
 			if err := r.Gate(); err != nil {
 				return err
 			}
-			idx.entries[i] = buildEntry(g, gens[i], opts)
+			idx.entries[i] = buildEntry(g, gens[i], opts, bm)
+			sp.AddUnits(1)
 			r.MarkDone(i, nil)
 			return nil
 		})
+	sp.End()
 
 	switch {
 	case runErr == nil:
@@ -119,7 +129,7 @@ func BuildResumable(ctx context.Context, g *graph.Graph, opts Options, cfg check
 // compact returns an index over only the worlds marked done, in ascending
 // world order — the partial result of a deadline-bounded build.
 func (x *Index) compact(done *checkpoint.Bitmap) *Index {
-	out := &Index{g: x.g, entries: make([]worldEntry, 0, done.Count())}
+	out := &Index{g: x.g, entries: make([]worldEntry, 0, done.Count()), tel: x.tel}
 	for i := 0; i < done.Len(); i++ {
 		if done.Get(i) {
 			out.entries = append(out.entries, x.entries[i])

@@ -78,9 +78,15 @@ func (q *celfQueue) Pop() interface{} {
 // gain must return the current marginal gain of a node; commit must apply
 // the selection. For a submodular objective the result equals naive greedy.
 func celfGreedy(n, k int, gain func(graph.NodeID) float64, commit func(graph.NodeID) float64) Selection {
-	sel, _ := celfGreedyCtx(context.Background(), n, k,
+	return celfGreedyMetered(n, k, gain, commit, greedyMetrics{})
+}
+
+// celfGreedyMetered is celfGreedy with greedy telemetry; the zero
+// greedyMetrics disables it.
+func celfGreedyMetered(n, k int, gain func(graph.NodeID) float64, commit func(graph.NodeID) float64, gm greedyMetrics) Selection {
+	sel, _ := celfGreedyTel(context.Background(), n, k,
 		func(v graph.NodeID) (float64, error) { return gain(v), nil },
-		func(v graph.NodeID) (float64, error) { return commit(v), nil })
+		func(v graph.NodeID) (float64, error) { return commit(v), nil }, gm)
 	return sel
 }
 
@@ -90,6 +96,13 @@ func celfGreedy(n, k int, gain func(graph.NodeID) float64, commit func(graph.Nod
 // returned alongside it; callers normally discard it.
 func celfGreedyCtx(ctx context.Context, n, k int,
 	gain func(graph.NodeID) (float64, error), commit func(graph.NodeID) (float64, error)) (Selection, error) {
+	return celfGreedyTel(ctx, n, k, gain, commit, greedyMetrics{})
+}
+
+// celfGreedyTel is celfGreedyCtx with greedy telemetry.
+func celfGreedyTel(ctx context.Context, n, k int,
+	gain func(graph.NodeID) (float64, error), commit func(graph.NodeID) (float64, error),
+	gm greedyMetrics) (Selection, error) {
 	if k > n {
 		k = n
 	}
@@ -105,6 +118,7 @@ func celfGreedyCtx(ctx context.Context, n, k int,
 		}
 		q = append(q, celfItem{node: graph.NodeID(v), gain: g, round: 0})
 		sel.LazyEvaluations++
+		gm.eval()
 	}
 	heap.Init(&q)
 	for round := 1; round <= k && len(q) > 0; {
@@ -119,6 +133,7 @@ func celfGreedyCtx(ctx context.Context, n, k int,
 			}
 			sel.Seeds = append(sel.Seeds, top.node)
 			sel.Gains = append(sel.Gains, realized)
+			gm.commit(realized)
 			round++
 			continue
 		}
@@ -129,6 +144,7 @@ func celfGreedyCtx(ctx context.Context, n, k int,
 		top.gain = g
 		top.round = round
 		sel.LazyEvaluations++
+		gm.eval()
 		heap.Push(&q, top)
 	}
 	return sel, nil
@@ -274,7 +290,12 @@ func Std(x *index.Index, k int) (Selection, error) {
 	s := x.NewScratch()
 	cov := x.NewCoverage()
 	gain, commit := sharedIndexGain(x, cov, s)
-	return celfGreedy(x.Graph().NumNodes(), k, gain, commit), nil
+	tel := x.Telemetry()
+	sp := tel.StartSpan("infmax.std.greedy")
+	defer sp.End()
+	sel := celfGreedyMetered(x.Graph().NumNodes(), k, gain, commit, newGreedyMetrics(tel))
+	sp.AddUnits(int64(len(sel.Seeds)))
+	return sel, nil
 }
 
 // StdNaive is Std without CELF (every candidate re-evaluated each round).

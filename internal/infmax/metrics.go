@@ -1,0 +1,36 @@
+package infmax
+
+import "soi/internal/telemetry"
+
+// greedyMetrics instruments greedy seed selection: marginal-gain
+// evaluations, committed rounds, and the realized gains themselves (cover
+// growth). The zero value — all-nil handles — is the disabled state, so
+// unmetered callers pay one nil check per event.
+type greedyMetrics struct {
+	evals  *telemetry.Counter   // infmax.gain_evals
+	rounds *telemetry.Counter   // infmax.rounds
+	gains  *telemetry.Histogram // infmax.marginal_gain_milli
+}
+
+func newGreedyMetrics(tel *telemetry.Registry) greedyMetrics {
+	return greedyMetrics{
+		evals:  tel.Counter("infmax.gain_evals"),
+		rounds: tel.Counter("infmax.rounds"),
+		gains:  tel.Histogram("infmax.marginal_gain_milli"),
+	}
+}
+
+// eval records one marginal-gain evaluation.
+func (gm greedyMetrics) eval() { gm.evals.Inc() }
+
+// commit records one committed greedy round with its realized gain.
+// Gains are fractional (expected-spread or coverage units); they are stored
+// in milli-units so the log-scale buckets resolve sub-unit gains.
+func (gm greedyMetrics) commit(realized float64) {
+	gm.rounds.Inc()
+	if realized > 0 {
+		gm.gains.Observe(int64(realized * 1000))
+	} else {
+		gm.gains.Observe(0)
+	}
+}

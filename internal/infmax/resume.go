@@ -12,6 +12,7 @@ import (
 	"soi/internal/fault"
 	"soi/internal/graph"
 	"soi/internal/rng"
+	"soi/internal/telemetry"
 )
 
 // RRResumable is RRCtx under the crash-safe execution layer: sampled
@@ -82,6 +83,13 @@ func RRResumable(ctx context.Context, g *graph.Graph, k int, opts RROptions, cfg
 		resumed = st.Done
 	}
 
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = cfg.Telemetry
+	}
+	mSets := tel.Counter("infmax.rr_sets")
+	mSetSize := tel.Histogram("infmax.rr_set_size")
+	spSample := tel.StartSpan("infmax.rr.sample")
 	var runErr error
 	var buf []graph.NodeID
 	for i := 0; i < opts.Sets; i++ {
@@ -98,8 +106,12 @@ func RRResumable(ctx context.Context, g *graph.Graph, k int, opts RROptions, cfg
 		target := graph.NodeID(rnd.Intn(n))
 		buf = lazyReach(rev, target, rnd, visited, buf[:0])
 		sets[i] = append([]graph.NodeID(nil), buf...)
+		mSets.Inc()
+		mSetSize.Observe(int64(len(buf)))
+		spSample.AddUnits(1)
 		r.MarkDone(i, nil)
 	}
+	spSample.End()
 
 	greedyOver := func(done *checkpoint.Bitmap) (Selection, error) {
 		achieved := done.Count()
@@ -112,7 +124,7 @@ func RRResumable(ctx context.Context, g *graph.Graph, k int, opts RROptions, cfg
 			setNodes = append(setNodes, sets[i]...)
 			setOff = append(setOff, int32(len(setNodes)))
 		}
-		return rrGreedy(ctx, g, k, achieved, setOff, setNodes)
+		return rrGreedy(ctx, g, k, achieved, setOff, setNodes, tel)
 	}
 
 	switch {
@@ -146,7 +158,7 @@ func RRResumable(ctx context.Context, g *graph.Graph, k int, opts RROptions, cfg
 // rrGreedy is the max-cover phase of the RR method over an explicit CSR of
 // numSets sampled sets. Gains are scaled by n/numSets (expected-spread
 // units).
-func rrGreedy(ctx context.Context, g *graph.Graph, k, numSets int, setOff []int32, setNodes []graph.NodeID) (Selection, error) {
+func rrGreedy(ctx context.Context, g *graph.Graph, k, numSets int, setOff []int32, setNodes []graph.NodeID, tel *telemetry.Registry) (Selection, error) {
 	n := g.NumNodes()
 	counts := make([]int32, n)
 	for _, v := range setNodes {
@@ -160,28 +172,36 @@ func rrGreedy(ctx context.Context, g *graph.Graph, k, numSets int, setOff []int3
 	if k > n {
 		k = n
 	}
+	gm := newGreedyMetrics(tel)
+	sp := tel.StartSpan("infmax.rr.greedy")
+	defer sp.End()
 	for round := 0; round < k; round++ {
 		if err := ctx.Err(); err != nil {
 			return Selection{}, err
 		}
 		best := graph.NodeID(-1)
 		var bestCount int32 = -1
+		evals := 0
 		for v := 0; v < n; v++ {
 			if chosen[v] {
 				continue
 			}
 			sel.LazyEvaluations++
+			evals++
 			if counts[v] > bestCount {
 				bestCount = counts[v]
 				best = graph.NodeID(v)
 			}
 		}
+		gm.evals.Add(int64(evals))
 		if best < 0 {
 			break
 		}
 		chosen[best] = true
 		sel.Seeds = append(sel.Seeds, best)
 		sel.Gains = append(sel.Gains, float64(bestCount)*scale)
+		gm.commit(float64(bestCount) * scale)
+		sp.AddUnits(1)
 		lo, hi := containing.off[best], containing.off[best+1]
 		for _, si := range containing.sets[lo:hi] {
 			if covered[si] {

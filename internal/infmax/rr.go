@@ -6,6 +6,7 @@ import (
 
 	"soi/internal/graph"
 	"soi/internal/rng"
+	"soi/internal/telemetry"
 )
 
 // Reverse-reachable (RR) sketch influence maximization, after Borgs,
@@ -26,6 +27,10 @@ type RROptions struct {
 	Sets int
 	// Seed drives the sampling.
 	Seed uint64
+	// Telemetry, when non-nil, receives RR-sampling metrics (infmax.rr_sets,
+	// infmax.rr_set_size) and greedy metrics, under "infmax.rr.sample" and
+	// "infmax.rr.greedy" spans.
+	Telemetry *telemetry.Registry
 }
 
 // RR selects k seeds by greedy max-cover over opts.Sets sampled
@@ -56,8 +61,13 @@ func RRCtx(ctx context.Context, g *graph.Graph, k int, opts RROptions) (Selectio
 	setOff := make([]int32, opts.Sets+1)
 	var setNodes []graph.NodeID
 	var buf []graph.NodeID
+	tel := opts.Telemetry
+	mSets := tel.Counter("infmax.rr_sets")
+	mSetSize := tel.Histogram("infmax.rr_set_size")
+	spSample := tel.StartSpan("infmax.rr.sample")
 	for i := 0; i < opts.Sets; i++ {
 		if err := ctx.Err(); err != nil {
+			spSample.End()
 			return Selection{}, err
 		}
 		r := master.Split(uint64(i))
@@ -68,7 +78,11 @@ func RRCtx(ctx context.Context, g *graph.Graph, k int, opts RROptions) (Selectio
 		buf = lazyReach(rev, target, r, visited, buf[:0])
 		setNodes = append(setNodes, buf...)
 		setOff[i+1] = int32(len(setNodes))
+		mSets.Inc()
+		mSetSize.Observe(int64(len(buf)))
+		spSample.AddUnits(1)
 	}
+	spSample.End()
 	counts := make([]int32, n) // uncovered RR sets containing each node
 	for _, v := range setNodes {
 		counts[v]++
@@ -84,28 +98,36 @@ func RRCtx(ctx context.Context, g *graph.Graph, k int, opts RROptions) (Selectio
 	if k > n {
 		k = n
 	}
+	gm := newGreedyMetrics(tel)
+	spGreedy := tel.StartSpan("infmax.rr.greedy")
+	defer spGreedy.End()
 	for round := 0; round < k; round++ {
 		if err := ctx.Err(); err != nil {
 			return Selection{}, err
 		}
 		best := graph.NodeID(-1)
 		var bestCount int32 = -1
+		evals := 0
 		for v := 0; v < n; v++ {
 			if chosen[v] {
 				continue
 			}
 			sel.LazyEvaluations++
+			evals++
 			if counts[v] > bestCount {
 				bestCount = counts[v]
 				best = graph.NodeID(v)
 			}
 		}
+		gm.evals.Add(int64(evals))
 		if best < 0 {
 			break
 		}
 		chosen[best] = true
 		sel.Seeds = append(sel.Seeds, best)
 		sel.Gains = append(sel.Gains, float64(bestCount)*scale)
+		gm.commit(float64(bestCount) * scale)
+		spGreedy.AddUnits(1)
 		// Mark every RR set containing best as covered and decrement the
 		// counts of their members — keeps counts exact for later rounds.
 		lo, hi := containing.off[best], containing.off[best+1]

@@ -7,6 +7,7 @@ import (
 
 	"soi/internal/graph"
 	"soi/internal/rng"
+	"soi/internal/telemetry"
 )
 
 // Automatic RR-set budgeting after TIM (Tang, Xiao & Shi, SIGMOD 2014).
@@ -30,6 +31,8 @@ type RRAutoOptions struct {
 	MaxSets int
 	// Seed drives the sampling.
 	Seed uint64
+	// Telemetry is forwarded to the θ-sized RR sampling phase.
+	Telemetry *telemetry.Registry
 }
 
 // RRAuto selects k seeds with the RR sketch, choosing the number of RR sets
@@ -58,7 +61,7 @@ func RRAutoCtx(ctx context.Context, g *graph.Graph, k int, opts RRAutoOptions) (
 	m := g.NumEdges()
 	if m == 0 {
 		// Edgeless graph: any k nodes, one RR set per node suffices.
-		sel, err := RRCtx(ctx, g, k, RROptions{Sets: n, Seed: opts.Seed})
+		sel, err := RRCtx(ctx, g, k, RROptions{Sets: n, Seed: opts.Seed, Telemetry: opts.Telemetry})
 		return sel, n, err
 	}
 
@@ -76,7 +79,7 @@ func RRAutoCtx(ctx context.Context, g *graph.Graph, k int, opts RRAutoOptions) (
 	if theta > maxSets {
 		theta = maxSets
 	}
-	sel, err := RRCtx(ctx, g, k, RROptions{Sets: theta, Seed: opts.Seed ^ 0x7133})
+	sel, err := RRCtx(ctx, g, k, RROptions{Sets: theta, Seed: opts.Seed ^ 0x7133, Telemetry: opts.Telemetry})
 	return sel, theta, err
 }
 

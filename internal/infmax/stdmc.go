@@ -7,6 +7,7 @@ import (
 	"soi/internal/cascade"
 	"soi/internal/graph"
 	"soi/internal/rng"
+	"soi/internal/telemetry"
 )
 
 // MCOptions configures the Monte-Carlo greedy (the paper-faithful
@@ -22,6 +23,10 @@ type MCOptions struct {
 	Seed uint64
 	// Workers bounds simulation parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Telemetry, when non-nil, receives greedy and cascade metrics
+	// (infmax.gain_evals, cascade.trials, ...) plus an
+	// "infmax.stdmc.greedy" span.
+	Telemetry *telemetry.Registry
 }
 
 func (o *MCOptions) validate() error {
@@ -43,15 +48,15 @@ type mcState struct {
 
 func (m *mcState) gainErr(v graph.NodeID) (float64, error) {
 	m.evalCtr++
-	est, err := cascade.ExpectedSpreadCtx(m.ctx, m.g, append(m.seeds, v), m.opts.Trials,
-		rng.Mix64(m.opts.Seed^m.evalCtr), m.opts.Workers)
+	est, err := cascade.ExpectedSpreadTel(m.ctx, m.g, append(m.seeds, v), m.opts.Trials,
+		rng.Mix64(m.opts.Seed^m.evalCtr), m.opts.Workers, m.opts.Telemetry)
 	return est - m.sigmaS, err
 }
 
 func (m *mcState) commitErr(v graph.NodeID) (float64, error) {
 	m.evalCtr++
-	est, err := cascade.ExpectedSpreadCtx(m.ctx, m.g, append(m.seeds, v), m.opts.Trials,
-		rng.Mix64(m.opts.Seed^m.evalCtr), m.opts.Workers)
+	est, err := cascade.ExpectedSpreadTel(m.ctx, m.g, append(m.seeds, v), m.opts.Trials,
+		rng.Mix64(m.opts.Seed^m.evalCtr), m.opts.Workers, m.opts.Telemetry)
 	if err != nil {
 		return 0, err
 	}
@@ -102,10 +107,13 @@ func StdMCCtx(ctx context.Context, g *graph.Graph, k int, opts MCOptions) (Selec
 		return Selection{}, err
 	}
 	m := &mcState{ctx: ctx, g: g, opts: opts}
-	sel, err := celfGreedyCtx(ctx, g.NumNodes(), k, m.gainErr, m.commitErr)
+	sp := opts.Telemetry.StartSpan("infmax.stdmc.greedy")
+	defer sp.End()
+	sel, err := celfGreedyTel(ctx, g.NumNodes(), k, m.gainErr, m.commitErr, newGreedyMetrics(opts.Telemetry))
 	if err != nil {
 		return Selection{}, err
 	}
+	sp.AddUnits(int64(len(sel.Seeds)))
 	return sel, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"soi/internal/graph"
+	"soi/internal/telemetry"
 )
 
 // Spheres is the precomputed input to InfMax_TC: the typical cascade
@@ -43,11 +44,21 @@ func (c *nodeCoverage) commit(v graph.NodeID) float64 {
 // submodular, so the selection equals naive greedy's). Gains are in covered-
 // node units.
 func TC(g *graph.Graph, spheres Spheres, k int) (Selection, error) {
+	return TCTel(g, spheres, k, nil)
+}
+
+// TCTel is TC with telemetry: tel (nil allowed) receives gain-evaluation and
+// round counters, a realized-gain histogram, and an "infmax.tc.greedy" span.
+func TCTel(g *graph.Graph, spheres Spheres, k int, tel *telemetry.Registry) (Selection, error) {
 	if err := validateTC(g, spheres, k); err != nil {
 		return Selection{}, err
 	}
 	cov := &nodeCoverage{covered: make([]bool, g.NumNodes()), spheres: spheres}
-	return celfGreedy(g.NumNodes(), k, cov.gain, cov.commit), nil
+	sp := tel.StartSpan("infmax.tc.greedy")
+	defer sp.End()
+	sel := celfGreedyMetered(g.NumNodes(), k, cov.gain, cov.commit, newGreedyMetrics(tel))
+	sp.AddUnits(int64(len(sel.Seeds)))
+	return sel, nil
 }
 
 // TCNaive is TC without CELF; onRound receives each round's descending

@@ -122,6 +122,14 @@ type Median struct {
 	Set Set
 	// Cost is its average Jaccard distance to the input sets.
 	Cost float64
+	// Evals counts the candidate medians whose cost the algorithm evaluated
+	// (prefixes for Prefix, subsets for Exact, toggles for Refine). Callers
+	// aggregate it into telemetry; the algorithms themselves stay
+	// dependency-free.
+	Evals int
+	// Delta is the cost improvement local refinement achieved over its
+	// starting candidate; 0 for one-shot algorithms.
+	Delta float64
 }
 
 // Prefix computes the frequency-prefix Jaccard median of sets.
@@ -147,7 +155,7 @@ func Prefix(sets []Set) Median {
 	m := len(counts)
 	if m == 0 {
 		// All sets empty: the empty median is exact.
-		return Median{Set: Set{}, Cost: 0}
+		return Median{Set: Set{}, Cost: 0, Evals: 1}
 	}
 	elems := make([]int32, 0, m)
 	for e := range counts {
@@ -207,7 +215,7 @@ func Prefix(sets []Set) Median {
 	med := make(Set, bestLen)
 	copy(med, elems[:bestLen])
 	sortInt32(med)
-	return Median{Set: med, Cost: bestCost}
+	return Median{Set: med, Cost: bestCost, Evals: m + 1}
 }
 
 // Majority returns the elements present in at least a fraction theta of the
@@ -237,7 +245,7 @@ func Majority(sets []Set, theta float64) Median {
 		}
 	}
 	sortInt32(med)
-	return Median{Set: med, Cost: MeanDistance(med, sets)}
+	return Median{Set: med, Cost: MeanDistance(med, sets), Evals: 1}
 }
 
 // Exact exhaustively searches all subsets of the union universe and returns
@@ -294,7 +302,7 @@ func Exact(sets []Set) Median {
 			med = append(med, universe[i])
 		}
 	}
-	return Median{Set: med, Cost: bestCost}
+	return Median{Set: med, Cost: bestCost, Evals: 1 << uint(m)}
 }
 
 func popcount(x uint32) int {

@@ -86,8 +86,11 @@ func Refine(sets []Set, start Set, maxSweeps int) Median {
 	}
 
 	cur := cost(cLen, inter)
+	startCost := cur
+	evals := 0
 	scratch := make([]int32, k)
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		evals += m
 		bestDelta := 0.0
 		bestElem := -1
 		for r := 0; r < m; r++ {
@@ -136,10 +139,14 @@ func Refine(sets []Set, start Set, maxSweeps int) Median {
 			out = append(out, universe[r])
 		}
 	}
-	return Median{Set: out, Cost: cost(cLen, inter)}
+	final := cost(cLen, inter)
+	return Median{Set: out, Cost: final, Evals: evals, Delta: startCost - final}
 }
 
 // PrefixRefined runs Prefix and then polishes its output with Refine.
 func PrefixRefined(sets []Set) Median {
-	return Refine(sets, Prefix(sets).Set, 0)
+	p := Prefix(sets)
+	med := Refine(sets, p.Set, 0)
+	med.Evals += p.Evals
+	return med
 }

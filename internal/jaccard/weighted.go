@@ -103,7 +103,7 @@ func WeightedPrefix(sets []Set, weight []float64) Median {
 		}
 	}
 	if len(elems) == 0 {
-		return Median{Set: Set{}, Cost: WeightedMeanDistance(Set{}, sets, weight)}
+		return Median{Set: Set{}, Cost: WeightedMeanDistance(Set{}, sets, weight), Evals: 1}
 	}
 	sort.Slice(elems, func(i, j int) bool {
 		if counts[elems[i]] != counts[elems[j]] {
@@ -163,7 +163,7 @@ func WeightedPrefix(sets []Set, weight []float64) Median {
 	med := make(Set, bestLen)
 	copy(med, elems[:bestLen])
 	sortInt32(med)
-	return Median{Set: med, Cost: bestCost}
+	return Median{Set: med, Cost: bestCost, Evals: len(elems) + 1}
 }
 
 // WeightedRefine polishes a weighted median with 1-swap steepest descent,
@@ -245,8 +245,11 @@ func WeightedRefine(sets []Set, weight []float64, start Set, maxSweeps int) Medi
 		return total / float64(k)
 	}
 	cur := cost(wC, wInter)
+	startCost := cur
+	evals := 0
 	scratch := make([]float64, k)
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		evals += len(universe)
 		bestDelta := 0.0
 		bestElem := -1
 		for r := 0; r < len(universe); r++ {
@@ -295,5 +298,6 @@ func WeightedRefine(sets []Set, weight []float64, start Set, maxSweeps int) Medi
 			out = append(out, universe[r])
 		}
 	}
-	return Median{Set: out, Cost: cost(wC, wInter)}
+	final := cost(wC, wInter)
+	return Median{Set: out, Cost: final, Evals: evals, Delta: startCost - final}
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"soi/internal/fault"
+	"soi/internal/telemetry"
 )
 
 // PanicError is a worker panic converted into an error. The pool guarantees
@@ -51,6 +52,10 @@ type Options struct {
 	// number of tasks done so far and the total. Calls are serialized (the
 	// callback needs no locking) but may be invoked from any worker.
 	Progress func(done, total int)
+	// Telemetry, if non-nil, receives pool utilization metrics
+	// (pool.tasks_queued/done/active, pool.workers, pool.panics). A nil
+	// registry costs one nil check per task.
+	Telemetry *telemetry.Registry
 }
 
 // Workers normalizes a requested worker count against a task count: values
@@ -81,6 +86,18 @@ func Run(ctx context.Context, total int, opts Options, fn func(worker, task int)
 		return ctx.Err()
 	}
 	workers := Workers(opts.Workers, total)
+
+	// Handles resolve to nil on a nil registry; every update below is then a
+	// single nil check, so disabled telemetry is free on the task loop.
+	var (
+		mQueued  = opts.Telemetry.Counter("pool.tasks_queued")
+		mDone    = opts.Telemetry.Counter("pool.tasks_done")
+		mActive  = opts.Telemetry.Gauge("pool.tasks_active")
+		mWorkers = opts.Telemetry.Gauge("pool.workers")
+		mPanics  = opts.Telemetry.Counter("pool.panics")
+	)
+	mQueued.Add(int64(total))
+	mWorkers.Set(int64(workers))
 
 	var (
 		cursor atomic.Int64 // next task to hand out
@@ -124,10 +141,17 @@ func Run(ctx context.Context, total int, opts Options, fn func(worker, task int)
 					record(err)
 					return
 				}
-				if err := runTask(fn, w, task); err != nil {
+				mActive.Add(1)
+				err := runTask(fn, w, task)
+				mActive.Add(-1)
+				if err != nil {
+					if _, ok := err.(*PanicError); ok {
+						mPanics.Inc()
+					}
 					record(err)
 					return
 				}
+				mDone.Inc()
 				d := int(done.Add(1))
 				if opts.Progress != nil {
 					progMu.Lock()

@@ -1,0 +1,45 @@
+package telemetry
+
+import "testing"
+
+// The disabled-telemetry contract: a nil handle costs a nil check per
+// update, a few hundred picoseconds. These benchmarks pin that; the
+// end-to-end version lives in internal/worlds (BenchmarkSampleCascadeMetered)
+// where the handles sit inside the real sampling hot loop.
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkCounterEnabledParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

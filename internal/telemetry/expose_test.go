@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition output for a known
+// registry. The format is consumed by real scrapers, so any drift here is a
+// breaking change and must be deliberate.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("pool.tasks_done").Add(42)
+	r.Counter("worlds.sampled").Add(7)
+	r.Gauge("pool.workers").Set(4)
+	h := r.Histogram("worlds.cascade_size")
+	for _, v := range []int64{1, 2, 3, 8, 1000} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	golden := `# TYPE soi_pool_tasks_done_total counter
+soi_pool_tasks_done_total 42
+# TYPE soi_worlds_sampled_total counter
+soi_worlds_sampled_total 7
+# TYPE soi_pool_workers gauge
+soi_pool_workers 4
+# TYPE soi_worlds_cascade_size histogram
+soi_worlds_cascade_size_bucket{le="1"} 1
+soi_worlds_cascade_size_bucket{le="3"} 3
+soi_worlds_cascade_size_bucket{le="15"} 4
+soi_worlds_cascade_size_bucket{le="1023"} 5
+soi_worlds_cascade_size_bucket{le="+Inf"} 5
+soi_worlds_cascade_size_sum 1014
+soi_worlds_cascade_size_count 5
+`
+	if got := sb.String(); got != golden {
+		t.Errorf("prometheus text drifted.\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+func TestPrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Errorf("nil registry rendered %q", sb.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"pool.tasks_done": "soi_pool_tasks_done",
+		"a-b c.d":         "soi_a_b_c_d",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestServe boots the debug endpoint on an ephemeral port and checks that
+// /metrics, /debug/vars, and /debug/pprof respond — the same surface a user
+// reaches with curl during a -debug-addr run.
+func TestServe(t *testing.T) {
+	r := New()
+	r.Counter("worlds.sampled").Add(5)
+	PublishExpvar("soi-test-serve", r)
+	ds, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + ds.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "soi_worlds_sampled_total 5") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ctype)
+	}
+
+	code, body, _ = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "soi-test-serve") {
+		t.Errorf("/debug/vars: code=%d", code)
+	}
+
+	code, body, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline: code=%d", code)
+	}
+
+	// /debug/pprof/profile with a tiny window proves CPU profiling is
+	// servable end to end.
+	code, body, _ = get("/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/pprof/profile: code=%d len=%d", code, len(body))
+	}
+}
+
+// TestPublishExpvarRebind: publishing twice must not panic, and the second
+// registry must win.
+func TestPublishExpvarRebind(t *testing.T) {
+	r1 := New()
+	r1.Counter("x.count").Add(1)
+	r2 := New()
+	r2.Counter("x.count").Add(2)
+	PublishExpvar("soi-test-rebind", r1)
+	PublishExpvar("soi-test-rebind", r2)
+	v := expvar.Get("soi-test-rebind")
+	if v == nil {
+		t.Fatal("expvar missing")
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(v.String()), &rep); err != nil {
+		t.Fatalf("expvar output is not report JSON: %v", err)
+	}
+	if rep.Counters["x.count"] != 2 {
+		t.Errorf("expvar bound to stale registry: %+v", rep.Counters)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build darwin
+
+package telemetry
+
+// Darwin getrusage reports ru_maxrss in bytes.
+const rssScaleKiB = false

@@ -1,0 +1,6 @@
+//go:build linux
+
+package telemetry
+
+// Linux getrusage reports ru_maxrss in kilobytes.
+const rssScaleKiB = true

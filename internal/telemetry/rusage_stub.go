@@ -1,0 +1,9 @@
+//go:build !linux && !darwin
+
+package telemetry
+
+// readRusage reports zeros on platforms without getrusage; the report's
+// cpu_seconds and peak_rss_bytes fields are best-effort.
+func readRusage() (cpuSeconds float64, peakRSSBytes int64) {
+	return 0, 0
+}

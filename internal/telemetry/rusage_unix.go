@@ -1,0 +1,21 @@
+//go:build linux || darwin
+
+package telemetry
+
+import "syscall"
+
+// readRusage returns whole-process CPU seconds (user+system) and peak RSS
+// in bytes. Linux reports ru_maxrss in KiB, darwin in bytes.
+func readRusage() (cpuSeconds float64, peakRSSBytes int64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	cpu := float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+		float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
+	rss := ru.Maxrss
+	if rssScaleKiB {
+		rss *= 1024
+	}
+	return cpu, rss
+}

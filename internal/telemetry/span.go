@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span measures one phase of a run: wall duration plus an optional count of
+// units processed (worlds, nodes, trials, ...). Spans nest: child spans
+// started from a parent render indented beneath it in the report. Spans are
+// coarse — one per phase, not one per unit — so the mutex protecting the
+// child list is never on a hot path. A nil *Span discards everything and
+// hands out nil children.
+type Span struct {
+	name  string
+	start time.Time
+
+	units atomic.Int64
+	ended atomic.Bool
+	durNS atomic.Int64
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+// StartSpan opens a top-level phase span. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// StartSpan opens a child span nested under s.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// AddUnits adds n to the span's units-processed count.
+func (s *Span) AddUnits(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.units.Add(n)
+}
+
+// End closes the span, freezing its duration. End is idempotent; only the
+// first call wins. Spans never ended render as still running at snapshot
+// time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.ended.CompareAndSwap(false, true) {
+		s.durNS.Store(int64(time.Since(s.start)))
+	}
+}
+
+// SpanSnapshot is a point-in-time copy of one span and its subtree.
+type SpanSnapshot struct {
+	Name      string         `json:"name"`
+	Seconds   float64        `json:"seconds"`
+	Units     int64          `json:"units,omitempty"`
+	UnitsPerS float64        `json:"units_per_second,omitempty"`
+	Running   bool           `json:"running,omitempty"` // span had not ended at snapshot time
+	Children  []SpanSnapshot `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot(now time.Time) SpanSnapshot {
+	out := SpanSnapshot{Name: s.name, Units: s.units.Load()}
+	if s.ended.Load() {
+		out.Seconds = time.Duration(s.durNS.Load()).Seconds()
+	} else {
+		out.Seconds = now.Sub(s.start).Seconds()
+		out.Running = true
+	}
+	if out.Units > 0 && out.Seconds > 0 {
+		out.UnitsPerS = float64(out.Units) / out.Seconds
+	}
+	s.mu.Lock()
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		out.Children = append(out.Children, c.snapshot(now))
+	}
+	return out
+}

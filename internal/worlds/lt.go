@@ -39,11 +39,18 @@ func ValidateLTWeights(g *graph.Graph) error {
 // its weight. The caller should have validated weights once with
 // ValidateLTWeights; overweight nodes keep their first winning edge.
 func SampleLT(g *graph.Graph, r *rng.PCG32) *World {
+	return SampleLTMetered(g, r, nil)
+}
+
+// SampleLTMetered is SampleLT with telemetry: m (nil allowed) records the
+// world and its per-node live-edge draws once after sampling.
+func SampleLTMetered(g *graph.Graph, r *rng.PCG32, m *Metrics) *World {
 	w := &World{
 		g:    g,
 		live: make([]uint64, (g.NumEdges()+63)/64),
 	}
 	rev := g.Reverse()
+	draws := 0
 	// For each node v, walk its incoming edges accumulating weight and keep
 	// the edge whose interval contains a single uniform draw.
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
@@ -51,6 +58,7 @@ func SampleLT(g *graph.Graph, r *rng.PCG32) *World {
 		if lo == hi {
 			continue
 		}
+		draws++
 		u01 := r.Float64()
 		acc := 0.0
 		for i := lo; i < hi; i++ {
@@ -63,6 +71,7 @@ func SampleLT(g *graph.Graph, r *rng.PCG32) *World {
 			}
 		}
 	}
+	m.world(draws)
 	return w
 }
 

@@ -1,0 +1,49 @@
+package worlds
+
+import "soi/internal/telemetry"
+
+// Metrics aggregates sampling instrumentation for the hot loops in this
+// package. Handles come from a telemetry.Registry; a nil *Metrics disables
+// everything at the cost of one nil check per sampled unit. Updates are
+// batched per world / per cascade — never per edge flip — so the atomic
+// traffic stays negligible next to the sampling work itself.
+type Metrics struct {
+	Worlds      *telemetry.Counter   // worlds.sampled: materialized worlds
+	Flips       *telemetry.Counter   // worlds.edges_flipped: Bernoulli edge draws
+	Cascades    *telemetry.Counter   // worlds.cascades_sampled: lazy cascades drawn
+	CascadeSize *telemetry.Histogram // worlds.cascade_size: nodes reached per cascade
+}
+
+// NewMetrics resolves the sampling metric handles from reg. Returns nil on
+// a nil registry, which every metered sampler accepts as "disabled".
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Worlds:      reg.Counter("worlds.sampled"),
+		Flips:       reg.Counter("worlds.edges_flipped"),
+		Cascades:    reg.Counter("worlds.cascades_sampled"),
+		CascadeSize: reg.Histogram("worlds.cascade_size"),
+	}
+}
+
+// world records one materialized world with the given number of edge draws.
+func (m *Metrics) world(flips int) {
+	if m == nil {
+		return
+	}
+	m.Worlds.Inc()
+	m.Flips.Add(int64(flips))
+}
+
+// cascade records one lazily sampled cascade: its size and the number of
+// edge draws it consumed.
+func (m *Metrics) cascade(size, flips int) {
+	if m == nil {
+		return
+	}
+	m.Cascades.Inc()
+	m.Flips.Add(int64(flips))
+	m.CascadeSize.Observe(int64(size))
+}

@@ -30,6 +30,12 @@ type World struct {
 // Sample draws a possible world: every edge of g is kept independently with
 // its probability, using the provided generator.
 func Sample(g *graph.Graph, r *rng.PCG32) *World {
+	return SampleMetered(g, r, nil)
+}
+
+// SampleMetered is Sample with telemetry: m (nil allowed) records the world
+// and its edge draws once after sampling, off the per-edge loop.
+func SampleMetered(g *graph.Graph, r *rng.PCG32, m *Metrics) *World {
 	w := &World{
 		g:    g,
 		live: make([]uint64, (g.NumEdges()+63)/64),
@@ -39,6 +45,7 @@ func Sample(g *graph.Graph, r *rng.PCG32) *World {
 			w.live[i>>6] |= 1 << uint(i&63)
 		}
 	}
+	m.world(g.NumEdges())
 	return w
 }
 
@@ -138,7 +145,14 @@ func SampleCascade(g *graph.Graph, src graph.NodeID, r *rng.PCG32, visited []boo
 // SampleCascadeFromSet is SampleCascade for a seed set: the cascade is the
 // union of nodes reached from any seed through live edges.
 func SampleCascadeFromSet(g *graph.Graph, seeds []graph.NodeID, r *rng.PCG32, visited []bool, out []graph.NodeID) []graph.NodeID {
+	return SampleCascadeFromSetMetered(g, seeds, r, visited, out, nil)
+}
+
+// SampleCascadeFromSetMetered is SampleCascadeFromSet with telemetry: m
+// (nil allowed) records the cascade size and edge draws once per cascade.
+func SampleCascadeFromSetMetered(g *graph.Graph, seeds []graph.NodeID, r *rng.PCG32, visited []bool, out []graph.NodeID, m *Metrics) []graph.NodeID {
 	start := len(out)
+	flips := 0
 	for _, s := range seeds {
 		if !visited[s] {
 			visited[s] = true
@@ -153,6 +167,7 @@ func SampleCascadeFromSet(g *graph.Graph, seeds []graph.NodeID, r *rng.PCG32, vi
 			if visited[v] {
 				continue
 			}
+			flips++
 			if r.Bernoulli(g.EdgeProb(i)) {
 				visited[v] = true
 				out = append(out, v)
@@ -164,6 +179,7 @@ func SampleCascadeFromSet(g *graph.Graph, seeds []graph.NodeID, r *rng.PCG32, vi
 		visited[v] = false
 	}
 	sortIDs(res)
+	m.cascade(len(res), flips)
 	return out
 }
 

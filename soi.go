@@ -27,6 +27,7 @@ package soi
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"soi/internal/cascade"
 	"soi/internal/checkpoint"
@@ -40,7 +41,37 @@ import (
 	"soi/internal/probs"
 	"soi/internal/proplog"
 	"soi/internal/reliability"
+	"soi/internal/telemetry"
 )
+
+// Telemetry is a race-safe, zero-dependency metrics registry: counters,
+// gauges, log-scale histograms, and phase spans. Attach one via the
+// Telemetry field on IndexOptions, TypicalOptions, MCOptions, RROptions or
+// ResumeConfig and every compute phase reports into it; a nil registry
+// disables all instrumentation at the cost of one nil check per event.
+// Expose it with TelemetryHandler (Prometheus) or read a structured
+// TelemetryReport when the run ends.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry creates an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// TelemetryReport is the machine-readable run report (schema
+// telemetry.ReportSchema): run info, counters, gauges, histogram snapshots
+// and the span tree.
+type TelemetryReport = telemetry.Report
+
+// TelemetryHandler serves r's metrics in Prometheus text exposition format;
+// mount it on any mux. A nil registry serves an empty (valid) page.
+func TelemetryHandler(r *Telemetry) http.Handler { return r.Handler() }
+
+// ServeTelemetry starts a debug HTTP server on addr exposing r as
+// Prometheus /metrics and expvar /debug/vars alongside net/http/pprof. Close
+// the returned server when done. addr supports ":0" for an ephemeral port
+// (see the server's Addr field for the resolved address).
+func ServeTelemetry(addr string, r *Telemetry) (*telemetry.DebugServer, error) {
+	return telemetry.Serve(addr, r)
+}
 
 // ResumeConfig configures the crash-safe execution layer under the
 // …Resumable APIs: a checkpoint file (periodically, atomically flushed off
@@ -310,6 +341,12 @@ func SelectSeedsStdMCCtx(ctx context.Context, g *Graph, k int, opts MCOptions) (
 // coverage over the spheres of influence.
 func SelectSeedsTC(g *Graph, spheres Spheres, k int) (Selection, error) {
 	return infmax.TC(g, spheres, k)
+}
+
+// SelectSeedsTCTel is SelectSeedsTC reporting greedy metrics and an
+// "infmax.tc.greedy" span into tel (nil disables).
+func SelectSeedsTCTel(g *Graph, spheres Spheres, k int, tel *Telemetry) (Selection, error) {
+	return infmax.TCTel(g, spheres, k, tel)
 }
 
 // RROptions configures the reverse-reachable-sketch method.
