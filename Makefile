@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json fmt fuzz-smoke all
+.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke all
 
 all: build vet test
 
@@ -38,6 +38,12 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadTSV -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/index
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/checkpoint
+
+# End-to-end serving smoke: build soid, start it on an ephemeral port
+# against a tiny dataset, run a scripted client session (incl. a forced 206
+# and 429), and assert a clean SIGTERM drain.
+server-smoke:
+	./scripts/server-smoke.sh
 
 fmt:
 	gofmt -w .

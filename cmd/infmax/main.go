@@ -135,7 +135,7 @@ func run(ctx context.Context, graphPath string, k int, method string, compare bo
 			if err != nil {
 				return infmax.Selection{}, err
 			}
-			return infmax.TCTel(g, sp, k, tel)
+			return infmax.TC(ctx, g, sp, k, infmax.TCOptions{Telemetry: tel})
 		case "std":
 			return infmax.Std(x, k)
 		case "rr":

@@ -1,6 +1,7 @@
 package soi_test
 
 import (
+	"context"
 	"fmt"
 
 	"soi"
@@ -23,7 +24,7 @@ func figure1Graph() *soi.Graph {
 // query node v5.
 func ExampleTypicalCascade() {
 	g := figure1Graph()
-	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 2000, Seed: 7})
+	idx, err := soi.BuildIndex(context.Background(), g, soi.IndexOptions{Samples: 2000, Seed: 7})
 	if err != nil {
 		panic(err)
 	}
@@ -37,12 +38,15 @@ func ExampleTypicalCascade() {
 // over precomputed spheres.
 func ExampleSelectSeedsTC() {
 	g := figure1Graph()
-	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 2000, Seed: 7})
+	idx, err := soi.BuildIndex(context.Background(), g, soi.IndexOptions{Samples: 2000, Seed: 7})
 	if err != nil {
 		panic(err)
 	}
-	spheres := soi.SpheresOf(soi.AllTypicalCascades(idx, soi.TypicalOptions{}))
-	sel, err := soi.SelectSeedsTC(g, spheres, 2)
+	all, err := soi.AllTypicalCascades(context.Background(), idx, soi.TypicalOptions{})
+	if err != nil {
+		panic(err)
+	}
+	sel, err := soi.SelectSeedsTC(context.Background(), g, soi.SpheresOf(all), 2, soi.TCOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -67,7 +71,7 @@ func ExampleReliability() {
 	b.AddEdge(0, 1, 0.5)
 	b.AddEdge(1, 2, 0.5)
 	g := b.MustBuild()
-	rel, err := soi.Reliability(g, 0, 2, 400000, 1)
+	rel, err := soi.Reliability(context.Background(), g, 0, 2, 400000, 1)
 	if err != nil {
 		panic(err)
 	}
@@ -82,7 +86,10 @@ func ExampleEstimateStability() {
 	b := soi.NewGraphBuilder(2)
 	b.AddEdge(0, 1, 0.3)
 	g := b.MustBuild()
-	cost := soi.EstimateStability(g, []soi.NodeID{0}, []soi.NodeID{0}, 400000, 2)
+	cost, err := soi.EstimateStability(context.Background(), g, []soi.NodeID{0}, []soi.NodeID{0}, 400000, 2)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("ρ ≈ %.2f\n", cost)
 	// Output:
 	// ρ ≈ 0.15
@@ -98,7 +105,7 @@ func ExampleAnalyzeModes() {
 		b.AddEdge(soi.NodeID(i), soi.NodeID(i+1), 1)
 	}
 	g := b.MustBuild()
-	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 2000, Seed: 3})
+	idx, err := soi.BuildIndex(context.Background(), g, soi.IndexOptions{Samples: 2000, Seed: 3})
 	if err != nil {
 		panic(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "soi-campaigns")
 	if err != nil {
 		log.Fatal(err)
@@ -37,11 +39,14 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 200, Seed: 72, TransitiveReduction: true})
+	idx, err := soi.BuildIndex(ctx, g, soi.IndexOptions{Samples: 200, Seed: 72, TransitiveReduction: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	results := soi.AllTypicalCascades(idx, soi.TypicalOptions{})
+	results, err := soi.AllTypicalCascades(ctx, idx, soi.TypicalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := soi.SaveSpheres(spherePath, results); err != nil {
 		log.Fatal(err)
 	}
@@ -55,12 +60,16 @@ func main() {
 		log.Fatal(err)
 	}
 	spheres := soi.SpheresOf(stored)
-	c1, err := soi.SelectSeedsTC(g, spheres, 50)
+	c1, err := soi.SelectSeedsTC(ctx, g, spheres, 50, soi.TCOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma1, err := soi.ExpectedSpread(ctx, g, c1.Seeds, 2000, 73)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("campaign 1 (reach, k=50): covers %.0f sphere elements, σ ≈ %.0f\n",
-		c1.Objective(), soi.ExpectedSpread(g, c1.Seeds, 2000, 73))
+		c1.Objective(), sigma1)
 
 	// ---- Campaign 2: premium segment is worth 10x. ----
 	value := make([]float64, g.NumNodes())

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Contact network: small-world structure (households + commuting),
 	// transmission probability decreasing in contact casualness.
 	topo, err := soi.Generate(soi.GenConfig{Model: "ws", N: 500, M: 4, Beta: 0.15, Mutual: true, Seed: 21})
@@ -42,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 1000, Seed: 23})
+	idx, err := soi.BuildIndex(ctx, g, soi.IndexOptions{Samples: 1000, Seed: 23})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func main() {
 	}
 
 	// Policy alternative: quarantine everyone with >= 25% infection risk.
-	atRisk, err := soi.ReliabilitySearch(g, []soi.NodeID{patientZero}, 0.25, 20000, 31)
+	atRisk, err := soi.ReliabilitySearch(ctx, g, []soi.NodeID{patientZero}, 0.25, 20000, 31)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +85,10 @@ func main() {
 
 	// Compare patient zero against the most dangerous possible case: the
 	// node with the largest typical cascade.
-	all := soi.AllTypicalCascades(idx, soi.TypicalOptions{})
+	all, err := soi.AllTypicalCascades(ctx, idx, soi.TypicalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	worst, worstSize := soi.NodeID(0), 0
 	for v, r := range all {
 		if r.Size() > worstSize {

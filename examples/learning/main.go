@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Ground truth: a scale-free follow network with uniform-random
 	// influence strengths.
 	topo, err := soi.Generate(soi.GenConfig{Model: "ba", N: 400, M: 4, Seed: 41})
@@ -67,11 +69,11 @@ func main() {
 
 	// How much does the learner choice change the answers? Compare the
 	// sphere of influence of the same node under both learnt graphs.
-	idxS, err := soi.BuildIndex(saito, soi.IndexOptions{Samples: 500, Seed: 47})
+	idxS, err := soi.BuildIndex(ctx, saito, soi.IndexOptions{Samples: 500, Seed: 47})
 	if err != nil {
 		log.Fatal(err)
 	}
-	idxG, err := soi.BuildIndex(goyal, soi.IndexOptions{Samples: 500, Seed: 47})
+	idxG, err := soi.BuildIndex(ctx, goyal, soi.IndexOptions{Samples: 500, Seed: 47})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	topo, err := soi.Generate(soi.GenConfig{Model: "ba", N: 1500, M: 4, TailExp: 2.0, Mutual: true, Seed: 61})
 	if err != nil {
 		log.Fatal(err)
@@ -31,18 +33,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	idxIC, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 500, Seed: 62})
+	idxIC, err := soi.BuildIndex(ctx, g, soi.IndexOptions{Samples: 500, Seed: 62})
 	if err != nil {
 		log.Fatal(err)
 	}
-	idxLT, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 500, Seed: 62, Model: soi.ModelLT})
+	idxLT, err := soi.BuildIndex(ctx, g, soi.IndexOptions{Samples: 500, Seed: 62, Model: soi.ModelLT})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Compare the sphere of the strongest node under both models.
-	spheresIC := soi.SpheresOf(soi.AllTypicalCascades(idxIC, soi.TypicalOptions{}))
-	spheresLT := soi.SpheresOf(soi.AllTypicalCascades(idxLT, soi.TypicalOptions{Model: soi.ModelLT}))
+	allIC, err := soi.AllTypicalCascades(ctx, idxIC, soi.TypicalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	allLT, err := soi.AllTypicalCascades(ctx, idxLT, soi.TypicalOptions{Model: soi.ModelLT})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spheresIC := soi.SpheresOf(allIC)
+	spheresLT := soi.SpheresOf(allLT)
 
 	biggest := soi.NodeID(0)
 	for v := range spheresIC {
@@ -69,11 +79,11 @@ func main() {
 	// Seed selection under each model, cross-scored under the other: how
 	// much does assuming the wrong propagation model cost?
 	const k = 25
-	selIC, err := soi.SelectSeedsTC(g, spheresIC, k)
+	selIC, err := soi.SelectSeedsTC(ctx, g, spheresIC, k, soi.TCOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	selLT, err := soi.SelectSeedsTC(g, spheresLT, k)
+	selLT, err := soi.SelectSeedsTC(ctx, g, spheresLT, k, soi.TCOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

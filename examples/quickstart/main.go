@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Build the running example of the paper (Figure 1): five nodes,
 	// v5 -> v1 (0.7), v5 -> v2 (0.4), v5 -> v4 (0.3), v1 -> v2 (0.1),
 	// v4 -> v2 (0.6), v2 -> v1 (0.1), v2 -> v3 (0.4). Nodes map to 0..4.
@@ -26,7 +28,7 @@ func main() {
 
 	// Index ℓ = 1000 sampled possible worlds (SCC condensations + the
 	// node-to-component matrix of the paper's Algorithm 1).
-	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 1000, Seed: 7, TransitiveReduction: true})
+	idx, err := soi.BuildIndex(ctx, g, soi.IndexOptions{Samples: 1000, Seed: 7, TransitiveReduction: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,12 +41,16 @@ func main() {
 	fmt.Printf("  stability  (held-out ρ):  %.4f  (lower = more predictable)\n", sphere.ExpectedCost)
 
 	// Spheres for every node, then influence maximization both ways.
-	spheres := soi.SpheresOf(soi.AllTypicalCascades(idx, soi.TypicalOptions{}))
+	all, err := soi.AllTypicalCascades(ctx, idx, soi.TypicalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spheres := soi.SpheresOf(all)
 	for v, s := range spheres {
 		fmt.Printf("node %d sphere: %v\n", v, s)
 	}
 
-	tc, err := soi.SelectSeedsTC(g, spheres, 2)
+	tc, err := soi.SelectSeedsTC(ctx, g, spheres, 2, soi.TCOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,6 +62,14 @@ func main() {
 	fmt.Printf("InfMax_std seeds: %v (expected spread %.2f)\n", std.Seeds, std.Objective())
 
 	// Score both seed sets with an independent Monte-Carlo estimate.
-	fmt.Printf("σ(TC seeds)  = %.3f\n", soi.ExpectedSpread(g, tc.Seeds, 20000, 13))
-	fmt.Printf("σ(std seeds) = %.3f\n", soi.ExpectedSpread(g, std.Seeds, 20000, 13))
+	sigmaTC, err := soi.ExpectedSpread(ctx, g, tc.Seeds, 20000, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigmaStd, err := soi.ExpectedSpread(ctx, g, std.Seeds, 20000, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("σ(TC seeds)  = %.3f\n", sigmaTC)
+	fmt.Printf("σ(std seeds) = %.3f\n", sigmaStd)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	topo, err := soi.Generate(soi.GenConfig{Model: "ba", N: 2000, M: 5, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
@@ -29,24 +31,28 @@ func main() {
 	fmt.Printf("network: %d nodes, %d edges, weighted-cascade probabilities\n",
 		g.NumNodes(), g.NumEdges())
 
-	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 400, Seed: 5, TransitiveReduction: true})
+	idx, err := soi.BuildIndex(ctx, g, soi.IndexOptions{Samples: 400, Seed: 5, TransitiveReduction: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	spheres := soi.SpheresOf(soi.AllTypicalCascades(idx, soi.TypicalOptions{}))
+	all, err := soi.AllTypicalCascades(ctx, idx, soi.TypicalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spheres := soi.SpheresOf(all)
 
 	const k = 100
 	std, err := soi.SelectSeedsStd(idx, k)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tc, err := soi.SelectSeedsTC(g, spheres, k)
+	tc, err := soi.SelectSeedsTC(ctx, g, spheres, k, soi.TCOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Held-out evaluation: both methods scored on the same fresh worlds.
-	eval, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 400, Seed: 1005})
+	eval, err := soi.BuildIndex(ctx, g, soi.IndexOptions{Samples: 400, Seed: 1005})
 	if err != nil {
 		log.Fatal(err)
 	}

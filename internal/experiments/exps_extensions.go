@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"soi/internal/cascade"
@@ -114,7 +115,7 @@ func ExtMethods(cfg Config) ([]ExtMethodsRow, error) {
 		run := func(m string) (infmax.Selection, error) {
 			switch m {
 			case "tc":
-				return infmax.TC(d.Graph, spheres, cfg.K)
+				return infmax.TC(context.Background(), d.Graph, spheres, cfg.K, infmax.TCOptions{})
 			case "std":
 				return infmax.Std(x, cfg.K)
 			case "std-celf++":

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"soi/internal/core"
@@ -73,7 +74,7 @@ func fig6One(cfg Config, name string, g *graph.Graph) (*Fig6Result, error) {
 		return nil, err
 	}
 	_, spheres := spheresAndResults(x, 0, cfg.Seed)
-	tcSel, err := infmax.TC(g, spheres, cfg.K)
+	tcSel, err := infmax.TC(context.Background(), g, spheres, cfg.K, infmax.TCOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +240,7 @@ func Fig8(cfg Config) ([]Fig8Result, error) {
 			return nil, err
 		}
 		_, spheres := spheresAndResults(x, 0, cfg.Seed)
-		tcSel, err := infmax.TC(d.Graph, spheres, cfg.K)
+		tcSel, err := infmax.TC(context.Background(), d.Graph, spheres, cfg.K, infmax.TCOptions{})
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@
 //
 //  1. Tests call Enable/Disable/Reset directly after calling SetActive(true)
 //     (typically in the test and deferred back off).
+//
 //  2. Integration tests of whole binaries set the SOI_FAILPOINTS environment
 //     variable, an allowlist of site specs parsed at process start, e.g.
 //
@@ -58,6 +59,10 @@ const (
 	StoreSave = "core/save-spheres"
 	// PoolTask fires before every task the worker pool hands out.
 	PoolTask = "pool/task"
+	// ServerCompute fires in the soid query server after a request is
+	// admitted (holding a compute slot) and before it computes; a delay here
+	// makes overload deterministic in tests and smoke scripts.
+	ServerCompute = "server/compute"
 )
 
 // Kind selects what an armed failpoint does when it fires.

@@ -1,6 +1,7 @@
 package infmax
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -76,7 +77,7 @@ func TestTCMatchesNaive(t *testing.T) {
 	g := randomGraph(t, 3, 60, 240, 0.15)
 	x := buildIndex(t, g, 30, 4)
 	sp := spheresOf(t, x)
-	lazy, err := TC(g, sp, 8)
+	lazy, err := TC(context.Background(), g, sp, 8, TCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestTCGainsNonIncreasing(t *testing.T) {
 	g := randomGraph(t, 9, 80, 320, 0.15)
 	x := buildIndex(t, g, 25, 10)
 	sp := spheresOf(t, x)
-	sel, err := TC(g, sp, 12)
+	sel, err := TC(context.Background(), g, sp, 12, TCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSeedsDistinct(t *testing.T) {
 	}
 	s1, e1 := Std(x, 10)
 	check("Std", s1, e1)
-	s2, e2 := TC(g, sp, 10)
+	s2, e2 := TC(context.Background(), g, sp, 10, TCOptions{})
 	check("TC", s2, e2)
 	s3, e3 := Degree(g, 10)
 	check("Degree", s3, e3)
@@ -196,12 +197,12 @@ func TestValidation(t *testing.T) {
 	if _, err := Std(x, 0); err == nil {
 		t.Error("Std accepted k=0")
 	}
-	if _, err := TC(g, Spheres{}, 3); err == nil {
+	if _, err := TC(context.Background(), g, Spheres{}, 3, TCOptions{}); err == nil {
 		t.Error("TC accepted mismatched spheres")
 	}
 	bad := make(Spheres, g.NumNodes())
 	bad[0] = []graph.NodeID{99}
-	if _, err := TC(g, bad, 3); err == nil {
+	if _, err := TC(context.Background(), g, bad, 3, TCOptions{}); err == nil {
 		t.Error("TC accepted out-of-range sphere element")
 	}
 	if _, err := Degree(g, -1); err == nil {
@@ -406,7 +407,7 @@ func BenchmarkTCCELF(b *testing.B) {
 	sp := spheresOf(b, x)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := TC(g, sp, 20); err != nil {
+		if _, err := TC(context.Background(), g, sp, 20, TCOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

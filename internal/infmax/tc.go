@@ -1,6 +1,7 @@
 package infmax
 
 import (
+	"context"
 	"fmt"
 
 	"soi/internal/graph"
@@ -39,24 +40,36 @@ func (c *nodeCoverage) commit(v graph.NodeID) float64 {
 	return float64(g)
 }
 
+// TCOptions configures InfMax_TC. The zero value is ready to use: no
+// telemetry, default greedy. It mirrors MCOptions/RROptions so every
+// SelectSeeds* entry point takes an options struct instead of growing
+// …Tel/…Ctx twins.
+type TCOptions struct {
+	// Telemetry (nil disables) receives gain-evaluation and round counters,
+	// a realized-gain histogram, and an "infmax.tc.greedy" span.
+	Telemetry *telemetry.Registry
+}
+
 // TC runs the paper's InfMax_TC (Algorithm 3): greedy maximum coverage over
 // the spheres of influence, with CELF lazy evaluation (coverage is monotone
 // submodular, so the selection equals naive greedy's). Gains are in covered-
-// node units.
-func TC(g *graph.Graph, spheres Spheres, k int) (Selection, error) {
-	return TCTel(g, spheres, k, nil)
-}
-
-// TCTel is TC with telemetry: tel (nil allowed) receives gain-evaluation and
-// round counters, a realized-gain histogram, and an "infmax.tc.greedy" span.
-func TCTel(g *graph.Graph, spheres Spheres, k int, tel *telemetry.Registry) (Selection, error) {
+// node units. ctx is checked before every gain evaluation; a canceled
+// context aborts the selection with ctx.Err().
+func TC(ctx context.Context, g *graph.Graph, spheres Spheres, k int, opts TCOptions) (Selection, error) {
 	if err := validateTC(g, spheres, k); err != nil {
 		return Selection{}, err
 	}
 	cov := &nodeCoverage{covered: make([]bool, g.NumNodes()), spheres: spheres}
+	tel := opts.Telemetry
 	sp := tel.StartSpan("infmax.tc.greedy")
 	defer sp.End()
-	sel := celfGreedyMetered(g.NumNodes(), k, cov.gain, cov.commit, newGreedyMetrics(tel))
+	sel, err := celfGreedyTel(ctx, g.NumNodes(), k,
+		func(v graph.NodeID) (float64, error) { return cov.gain(v), nil },
+		func(v graph.NodeID) (float64, error) { return cov.commit(v), nil },
+		newGreedyMetrics(tel))
+	if err != nil {
+		return Selection{}, err
+	}
 	sp.AddUnits(int64(len(sel.Seeds)))
 	return sel, nil
 }

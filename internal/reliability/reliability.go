@@ -38,16 +38,8 @@ func FromSource(g *graph.Graph, sources []graph.NodeID, samples int, seed uint64
 // FromSourceCtx is FromSource with cooperative cancellation: ctx is checked
 // between cascade samples, so a canceled context returns ctx.Err() promptly.
 func FromSourceCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, samples int, seed uint64) ([]float64, error) {
-	if samples < 1 {
-		return nil, fmt.Errorf("reliability: samples must be >= 1, got %d", samples)
-	}
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("reliability: empty source set")
-	}
-	for _, s := range sources {
-		if s < 0 || int(s) >= g.NumNodes() {
-			return nil, fmt.Errorf("reliability: source %d out of range", s)
-		}
+	if err := validateFromSource(g, sources, samples); err != nil {
+		return nil, err
 	}
 	counts := make([]int, g.NumNodes())
 	visited := make([]bool, g.NumNodes())
@@ -79,8 +71,8 @@ func Search(g *graph.Graph, sources []graph.NodeID, threshold float64, samples i
 // SearchCtx is Search with cooperative cancellation: ctx is checked between
 // the underlying cascade samples.
 func SearchCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, threshold float64, samples int, seed uint64) ([]graph.NodeID, error) {
-	if threshold <= 0 || threshold > 1 {
-		return nil, fmt.Errorf("reliability: threshold %v outside (0,1]", threshold)
+	if err := validateThreshold(threshold); err != nil {
+		return nil, err
 	}
 	probs, err := FromSourceCtx(ctx, g, sources, samples, seed)
 	if err != nil {
@@ -93,6 +85,32 @@ func SearchCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, thre
 		}
 	}
 	return out, nil
+}
+
+func validateFromSource(g *graph.Graph, sources []graph.NodeID, samples int) error {
+	if samples < 1 {
+		return fmt.Errorf("reliability: samples must be >= 1, got %d", samples)
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("reliability: empty source set")
+	}
+	for _, s := range sources {
+		if s < 0 || int(s) >= g.NumNodes() {
+			return outOfRange(s)
+		}
+	}
+	return nil
+}
+
+func validateThreshold(threshold float64) error {
+	if threshold <= 0 || threshold > 1 {
+		return fmt.Errorf("reliability: threshold %v outside (0,1]", threshold)
+	}
+	return nil
+}
+
+func outOfRange(v graph.NodeID) error {
+	return fmt.Errorf("reliability: node %d out of range", v)
 }
 
 // AugmentForReduction builds the graph G' of the paper's Theorem-1 proof:

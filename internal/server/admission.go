@@ -1,0 +1,66 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"soi/internal/telemetry"
+)
+
+// errOverload is mapped to 429 + Retry-After by the request middleware.
+var errOverload = errors.New("server: overloaded, admission queue full")
+
+// admission bounds concurrent compute with a slot semaphore plus a bounded
+// wait queue. A request acquires a compute slot immediately if one is free;
+// otherwise it takes a queue slot and waits. When both are exhausted the
+// request is shed with errOverload — the server prefers fast rejection over
+// unbounded queueing (tail latency is a product feature here).
+type admission struct {
+	slots    chan struct{} // compute slots; len == in-flight compute
+	waiters  chan struct{} // queue slots; len == queued requests
+	inflight *telemetry.Gauge
+	queued   *telemetry.Gauge
+}
+
+func newAdmission(maxInflight, maxQueue int, tel *telemetry.Registry) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInflight),
+		waiters:  make(chan struct{}, maxQueue),
+		inflight: tel.Gauge("server.inflight"),
+		queued:   tel.Gauge("server.queued"),
+	}
+}
+
+// acquire obtains a compute slot, queueing if allowed. It returns
+// errOverload when the queue is full and ctx.Err() when the caller's budget
+// expires while queued. Every nil return must be paired with release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	select {
+	case a.waiters <- struct{}{}:
+	default:
+		return errOverload
+	}
+	a.queued.Add(1)
+	defer func() {
+		<-a.waiters
+		a.queued.Add(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	a.inflight.Add(-1)
+}

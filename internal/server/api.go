@@ -1,0 +1,148 @@
+// Package server implements the soid query-serving daemon: a long-running
+// HTTP/JSON server that loads a graph, a prebuilt cascade index, and an
+// optional sphere store once, then answers concurrent sphere / stability /
+// seed-selection / spread / reliability / mode queries from memory.
+//
+// The serving pipeline per request is:
+//
+//	mux → drain check → cache lookup → singleflight → admission → compute
+//
+// with an LRU result cache keyed on (endpoint, canonicalized params, index
+// fingerprint), deduplication of identical in-flight queries, a bounded
+// admission queue that sheds load with 429 + Retry-After, and per-request
+// wall-clock budgets mapped onto the checkpoint Budget machinery — a budget
+// that truncates sampling yields HTTP 206 with the achieved sample count and
+// a Theorem-2-style error bound instead of an error.
+package server
+
+import "soi/internal/checkpoint"
+
+// partialInfo annotates a 206 response: how much sampling completed before
+// the budget's deadline and the resulting error bound. Embedded by every
+// response type with budgeted sampling; all-zero (the common case) renders
+// nothing.
+type partialInfo struct {
+	// Partial is true when the per-request budget truncated sampling.
+	Partial bool `json:"partial,omitempty"`
+	// Achieved is the number of samples completed before the deadline.
+	Achieved int `json:"achieved,omitempty"`
+	// Requested is the number of samples the request asked for.
+	Requested int `json:"requested,omitempty"`
+	// ErrorBound is the additive error bound at the achieved sample count,
+	// in the same units as the estimate it annotates.
+	ErrorBound float64 `json:"error_bound,omitempty"`
+}
+
+func partialOf(pe *checkpoint.PartialError, scale float64) partialInfo {
+	if pe == nil {
+		return partialInfo{}
+	}
+	return partialInfo{
+		Partial:    true,
+		Achieved:   pe.Achieved,
+		Requested:  pe.Requested,
+		ErrorBound: pe.Bound * scale,
+	}
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// sphereResponse answers GET /v1/sphere/{node}.
+type sphereResponse struct {
+	// Node is the queried node, in original (file) id space.
+	Node int64 `json:"node"`
+	// Sphere is the typical cascade of Node, sorted, in original ids.
+	Sphere []int64 `json:"sphere"`
+	Size   int     `json:"size"`
+	// SampleCost is the training cost ρ̃ of the sphere over the index worlds.
+	SampleCost float64 `json:"sample_cost"`
+	// Stability is the held-out stability estimate ρ (present when the
+	// request sampled it; -1 in stored spheres that carry none).
+	Stability *float64 `json:"stability,omitempty"`
+	// StabilitySamples is how many held-out cascades the estimate used.
+	StabilitySamples int `json:"stability_samples,omitempty"`
+	// Source is "store" (precomputed sphere store) or "computed".
+	Source string `json:"source"`
+	partialInfo
+}
+
+// stabilityResponse answers GET /v1/stability.
+type stabilityResponse struct {
+	Seeds      []int64 `json:"seeds"`
+	Set        []int64 `json:"set"`
+	Size       int     `json:"size"`
+	SampleCost float64 `json:"sample_cost"`
+	Stability  float64 `json:"stability"`
+	Samples    int     `json:"samples"`
+	partialInfo
+}
+
+// seedsResponse answers GET /v1/seeds.
+type seedsResponse struct {
+	K int `json:"k"`
+	// Seeds in selection order, original ids.
+	Seeds []int64 `json:"seeds"`
+	// Gains are the per-seed marginal coverage gains (covered-node units).
+	Gains []float64 `json:"gains"`
+	// Objective is the total sphere coverage of the selection.
+	Objective float64 `json:"objective"`
+	// Coverage is Objective / n.
+	Coverage        float64 `json:"coverage"`
+	LazyEvaluations int     `json:"lazy_evaluations"`
+}
+
+// spreadResponse answers GET /v1/spread.
+type spreadResponse struct {
+	Seeds  []int64 `json:"seeds"`
+	Spread float64 `json:"spread"`
+	// Method is "index" (expected spread over the loaded index's worlds) or
+	// "mc" (fresh Monte-Carlo simulations under the request budget).
+	Method string `json:"method"`
+	// Trials is the Monte-Carlo trial count (method "mc" only).
+	Trials int `json:"trials,omitempty"`
+	partialInfo
+}
+
+// reliabilityResponse answers GET /v1/reliability.
+type reliabilityResponse struct {
+	Sources   []int64 `json:"sources"`
+	Threshold float64 `json:"threshold"`
+	Nodes     []int64 `json:"nodes"`
+	Count     int     `json:"count"`
+	Samples   int     `json:"samples"`
+	partialInfo
+}
+
+// modeJSON is one cascade mode in a modesResponse.
+type modeJSON struct {
+	Median      []int64 `json:"median"`
+	Size        int     `json:"size"`
+	Probability float64 `json:"probability"`
+	Cost        float64 `json:"cost"`
+}
+
+// modesResponse answers GET /v1/modes/{node}.
+type modesResponse struct {
+	Node               int64      `json:"node"`
+	K                  int        `json:"k"`
+	Modes              []modeJSON `json:"modes"`
+	TakeoffProbability float64    `json:"takeoff_probability"`
+}
+
+// infoResponse answers GET /v1/info.
+type infoResponse struct {
+	Nodes  int `json:"nodes"`
+	Edges  int `json:"edges"`
+	Worlds int `json:"worlds"`
+	// GraphFingerprint and IndexFingerprint identify the loaded artifacts
+	// (soi.Fingerprint / Index.Fingerprint, %016x); clients validate that
+	// they are talking to the dataset they think they are.
+	GraphFingerprint string `json:"graph_fingerprint"`
+	IndexFingerprint string `json:"index_fingerprint"`
+	SpheresLoaded    bool   `json:"spheres_loaded"`
+	CacheEntries     int    `json:"cache_entries"`
+	UptimeSeconds    int64  `json:"uptime_seconds"`
+}

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"soi/internal/cascade"
+	"soi/internal/checkpoint"
+	"soi/internal/core"
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/infmax"
+	"soi/internal/reliability"
+)
+
+// splitPartial separates budget truncation (a degraded success) from real
+// failures: (pe, nil) when err is a *checkpoint.PartialError, (nil, err)
+// otherwise.
+func splitPartial(err error) (*checkpoint.PartialError, error) {
+	if err == nil {
+		return nil, nil
+	}
+	var pe *checkpoint.PartialError
+	if errors.As(err, &pe) {
+		return pe, nil
+	}
+	return nil, err
+}
+
+func statusFor(pe *checkpoint.PartialError) int {
+	if pe != nil {
+		return http.StatusPartialContent
+	}
+	return http.StatusOK
+}
+
+// querySeed derives the sampling seed for a request from the server seed and
+// the queried nodes, so distinct queries draw independent streams while the
+// same query is reproducible (and therefore cacheable) across requests.
+func (s *Server) querySeed(vs ...graph.NodeID) uint64 {
+	h := checkpoint.NewHasher().Uint64(s.cfg.Seed)
+	h.Nodes(vs)
+	return h.Sum()
+}
+
+// handleSphere serves GET /v1/sphere/{node}: the node's typical cascade with
+// an optional held-out stability estimate. source=store returns the
+// precomputed sphere from the loaded store; source=compute derives it from
+// the index under the request budget; source=auto (default) prefers the
+// store.
+func (s *Server) handleSphere(req *http.Request) (result, error) {
+	v, err := s.pathNode(req)
+	if err != nil {
+		return result{}, err
+	}
+	source := req.URL.Query().Get("source")
+	switch source {
+	case "", "auto":
+		if s.spheres != nil {
+			source = "store"
+		} else {
+			source = "compute"
+		}
+	case "store":
+		if s.spheres == nil {
+			return result{}, &apiError{status: http.StatusConflict,
+				msg: "no sphere store loaded; start soid with -spheres or use source=compute"}
+		}
+	case "compute":
+	default:
+		return result{}, badRequest("bad source %q: want auto, store, or compute", source)
+	}
+
+	if source == "store" {
+		r := &s.spheres[v]
+		resp := sphereResponse{
+			Node:       s.orig(v),
+			Sphere:     s.origSlice(r.Set),
+			Size:       r.Size(),
+			SampleCost: r.SampleCost,
+			Source:     "store",
+		}
+		if r.ExpectedCost >= 0 {
+			stab := r.ExpectedCost
+			resp.Stability = &stab
+		}
+		return ok(resp), nil
+	}
+
+	samples, err := queryInt(req, "samples", s.cfg.costSamples())
+	if err != nil {
+		return result{}, err
+	}
+	if samples < 0 {
+		return result{}, badRequest("samples must be >= 0, got %d", samples)
+	}
+
+	sc := s.scratch.Get().(*index.Scratch)
+	r := core.ComputeWithScratch(s.x, v, core.Options{Telemetry: s.cfg.Telemetry}, sc)
+	s.scratch.Put(sc)
+
+	resp := sphereResponse{
+		Node:       s.orig(v),
+		Sphere:     s.origSlice(r.Set),
+		Size:       r.Size(),
+		SampleCost: r.SampleCost,
+		Source:     "computed",
+	}
+	if samples > 0 {
+		stab, achieved, err := core.EstimateCostBudget(req.Context(), s.g,
+			[]graph.NodeID{v}, r.Set, samples, s.querySeed(v), s.cfg.Model,
+			samplingBudget(req.Context()))
+		pe, err := splitPartial(err)
+		if err != nil {
+			return result{}, err
+		}
+		resp.Stability = &stab
+		resp.StabilitySamples = achieved
+		resp.partialInfo = partialOf(pe, 1) // Jaccard distance: bound already in [0,1]
+		return result{status: statusFor(pe), v: resp}, nil
+	}
+	return ok(resp), nil
+}
+
+// handleStability serves GET /v1/stability?seeds=...: the typical cascade of
+// a seed set together with its held-out stability ρ under the request
+// budget.
+func (s *Server) handleStability(req *http.Request) (result, error) {
+	seeds, err := s.queryNodes(req, "seeds")
+	if err != nil {
+		return result{}, err
+	}
+	samples, err := queryInt(req, "samples", s.cfg.costSamples())
+	if err != nil {
+		return result{}, err
+	}
+	if samples < 1 {
+		return result{}, badRequest("samples must be >= 1, got %d", samples)
+	}
+
+	r := core.ComputeFromSet(s.x, seeds, core.Options{Telemetry: s.cfg.Telemetry})
+	stab, achieved, err := core.EstimateCostBudget(req.Context(), s.g,
+		seeds, r.Set, samples, s.querySeed(seeds...), s.cfg.Model,
+		samplingBudget(req.Context()))
+	pe, err := splitPartial(err)
+	if err != nil {
+		return result{}, err
+	}
+	return result{status: statusFor(pe), v: stabilityResponse{
+		Seeds:       s.origSlice(seeds),
+		Set:         s.origSlice(r.Set),
+		Size:        r.Size(),
+		SampleCost:  r.SampleCost,
+		Stability:   stab,
+		Samples:     achieved,
+		partialInfo: partialOf(pe, 1),
+	}}, nil
+}
+
+// handleSeeds serves GET /v1/seeds?k=...: InfMax_TC greedy max-cover over
+// the loaded sphere store. This endpoint has no sampling to degrade, so the
+// budget (plus grace) acts as a hard timeout instead.
+func (s *Server) handleSeeds(req *http.Request) (result, error) {
+	if s.tcSets == nil {
+		return result{}, &apiError{status: http.StatusConflict,
+			msg: "no sphere store loaded; /v1/seeds requires soid -spheres"}
+	}
+	k, err := queryInt(req, "k", 0)
+	if err != nil {
+		return result{}, err
+	}
+	if k < 1 || k > s.g.NumNodes() {
+		return result{}, badRequest("k must be in [1, %d], got %d", s.g.NumNodes(), k)
+	}
+	sel, err := infmax.TC(req.Context(), s.g, s.tcSets, k,
+		infmax.TCOptions{Telemetry: s.cfg.Telemetry})
+	if err != nil {
+		return result{}, err
+	}
+	return ok(seedsResponse{
+		K:               k,
+		Seeds:           s.origSlice(sel.Seeds),
+		Gains:           sel.Gains,
+		Objective:       sel.Objective(),
+		Coverage:        sel.Objective() / float64(s.g.NumNodes()),
+		LazyEvaluations: sel.LazyEvaluations,
+	}), nil
+}
+
+// handleSpread serves GET /v1/spread?seeds=...: expected spread either over
+// the loaded index's worlds (method=index, deterministic and fast) or by
+// fresh Monte-Carlo simulation under the request budget (method=mc).
+func (s *Server) handleSpread(req *http.Request) (result, error) {
+	seeds, err := s.queryNodes(req, "seeds")
+	if err != nil {
+		return result{}, err
+	}
+	method := req.URL.Query().Get("method")
+	switch method {
+	case "", "index":
+		sc := s.scratch.Get().(*index.Scratch)
+		spread := cascade.SpreadFromIndex(s.x, seeds, sc)
+		s.scratch.Put(sc)
+		return ok(spreadResponse{
+			Seeds:  s.origSlice(seeds),
+			Spread: spread,
+			Method: "index",
+		}), nil
+	case "mc":
+		trials, err := queryInt(req, "trials", s.cfg.trials())
+		if err != nil {
+			return result{}, err
+		}
+		if trials < 1 {
+			return result{}, badRequest("trials must be >= 1, got %d", trials)
+		}
+		// One worker per request: admission control arbitrates cores across
+		// requests; a single query must not monopolize the process.
+		spread, err := cascade.ExpectedSpreadResumable(req.Context(), s.g, seeds,
+			trials, s.querySeed(seeds...), 1,
+			checkpoint.Config{Budget: samplingBudget(req.Context()), Telemetry: s.cfg.Telemetry})
+		pe, err := splitPartial(err)
+		if err != nil {
+			return result{}, err
+		}
+		return result{status: statusFor(pe), v: spreadResponse{
+			Seeds:  s.origSlice(seeds),
+			Spread: spread,
+			Method: "mc",
+			Trials: trials,
+			// The estimator's bound is normalized to [0,1]; spread is in
+			// node units, so scale by n.
+			partialInfo: partialOf(pe, float64(s.g.NumNodes())),
+		}}, nil
+	default:
+		return result{}, badRequest("bad method %q: want index or mc", method)
+	}
+}
+
+// handleReliability serves GET /v1/reliability?sources=...&threshold=...:
+// the nodes reachable from the sources with probability at least threshold,
+// estimated by sampling under the request budget.
+func (s *Server) handleReliability(req *http.Request) (result, error) {
+	sources, err := s.queryNodes(req, "sources")
+	if err != nil {
+		return result{}, err
+	}
+	threshold := 0.5
+	if raw := req.URL.Query().Get("threshold"); raw != "" {
+		threshold, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return result{}, badRequest("bad threshold %q", raw)
+		}
+	}
+	samples, err := queryInt(req, "samples", s.cfg.trials())
+	if err != nil {
+		return result{}, err
+	}
+	if samples < 1 {
+		return result{}, badRequest("samples must be >= 1, got %d", samples)
+	}
+
+	nodes, achieved, err := reliability.SearchBudget(req.Context(), s.g, sources,
+		threshold, samples, s.querySeed(sources...), samplingBudget(req.Context()))
+	pe, err := splitPartial(err)
+	if err != nil {
+		return result{}, err
+	}
+	return result{status: statusFor(pe), v: reliabilityResponse{
+		Sources:     s.origSlice(sources),
+		Threshold:   threshold,
+		Nodes:       s.origSlice(nodes),
+		Count:       len(nodes),
+		Samples:     achieved,
+		partialInfo: partialOf(pe, 1),
+	}}, nil
+}
+
+// handleModes serves GET /v1/modes/{node}?k=...: the k-mode cascade
+// decomposition of a node with its takeoff probability.
+func (s *Server) handleModes(req *http.Request) (result, error) {
+	v, err := s.pathNode(req)
+	if err != nil {
+		return result{}, err
+	}
+	k, err := queryInt(req, "k", 2)
+	if err != nil {
+		return result{}, err
+	}
+	if k < 1 {
+		return result{}, badRequest("k must be >= 1, got %d", k)
+	}
+	modes := core.AnalyzeModes(s.x, v, k)
+	out := make([]modeJSON, len(modes))
+	for i, m := range modes {
+		out[i] = modeJSON{
+			Median:      s.origSlice(m.Median),
+			Size:        len(m.Median),
+			Probability: m.Probability,
+			Cost:        m.Cost,
+		}
+	}
+	return ok(modesResponse{
+		Node:               s.orig(v),
+		K:                  k,
+		Modes:              out,
+		TakeoffProbability: core.TakeoffProbability(modes),
+	}), nil
+}
+
+// handleInfo serves GET /v1/info: the loaded artifacts and their
+// fingerprints, so clients can validate they are talking to the dataset they
+// expect.
+func (s *Server) handleInfo(*http.Request) (result, error) {
+	return ok(infoResponse{
+		Nodes:            s.g.NumNodes(),
+		Edges:            s.g.NumEdges(),
+		Worlds:           s.x.NumWorlds(),
+		GraphFingerprint: strconv.FormatUint(s.graphFP, 16),
+		IndexFingerprint: strconv.FormatUint(s.indexFP, 16),
+		SpheresLoaded:    s.spheres != nil,
+		CacheEntries:     s.cache.len(),
+		UptimeSeconds:    int64(time.Since(s.started).Seconds()),
+	}), nil
+}

@@ -1,0 +1,605 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soi/internal/checkpoint"
+	"soi/internal/core"
+	"soi/internal/fault"
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/infmax"
+	"soi/internal/telemetry"
+)
+
+// Config assembles a Server. Graph and Index are required; everything else
+// has serving-sensible defaults.
+type Config struct {
+	// Graph is the loaded probabilistic graph (required).
+	Graph *graph.Graph
+	// OrigIDs maps dense node ids to the original ids of the graph file;
+	// nil means the two id spaces coincide. Requests and responses use
+	// original ids.
+	OrigIDs []int64
+	// Index is the prebuilt cascade index over Graph (required).
+	Index *index.Index
+	// Spheres is the optional precomputed sphere store (LoadSpheres output);
+	// it enables /v1/seeds and the /v1/sphere store fast path. Must have one
+	// entry per graph node.
+	Spheres []core.Result
+	// Model is the propagation model the index was built with (the index
+	// format does not record it); server-side sampling must match it.
+	Model index.Model
+	// Telemetry receives request counters, per-endpoint latency histograms,
+	// cache and admission metrics; nil disables instrumentation.
+	Telemetry *telemetry.Registry
+
+	// CacheSize bounds the LRU result cache in entries; 0 selects 4096,
+	// negative disables caching.
+	CacheSize int
+	// MaxInflight bounds concurrently computing requests; 0 selects
+	// GOMAXPROCS.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for a compute slot beyond
+	// MaxInflight; 0 selects 4*MaxInflight, negative disables queueing
+	// (immediate 429 when all slots are busy).
+	MaxQueue int
+	// DefaultBudget is the per-request wall-clock budget when the request
+	// carries no budget parameter; 0 selects 2s.
+	DefaultBudget time.Duration
+	// MaxBudget caps the per-request budget parameter; 0 selects 30s.
+	MaxBudget time.Duration
+	// CostSamples is the default held-out sample count for stability
+	// estimates; 0 selects 200.
+	CostSamples int
+	// Trials is the default Monte-Carlo trial count for /v1/spread
+	// method=mc; 0 selects 1000.
+	Trials int
+	// Seed seeds server-side sampling (stability, spread, reliability).
+	// Fixed per process so identical queries are deterministic and cacheable.
+	Seed uint64
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize == 0 {
+		return 4096
+	}
+	if c.CacheSize < 0 {
+		return 0
+	}
+	return c.CacheSize
+}
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue == 0 {
+		return 4 * c.maxInflight()
+	}
+	if c.MaxQueue < 0 {
+		return 0
+	}
+	return c.MaxQueue
+}
+
+func (c Config) defaultBudget() time.Duration {
+	if c.DefaultBudget <= 0 {
+		return 2 * time.Second
+	}
+	return c.DefaultBudget
+}
+
+func (c Config) maxBudget() time.Duration {
+	if c.MaxBudget <= 0 {
+		return 30 * time.Second
+	}
+	return c.MaxBudget
+}
+
+func (c Config) costSamples() int {
+	if c.CostSamples <= 0 {
+		return 200
+	}
+	return c.CostSamples
+}
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 1000
+	}
+	return c.Trials
+}
+
+// Server is the query-serving daemon core: immutable loaded artifacts plus
+// the serving pipeline (cache, singleflight, admission). All methods are
+// safe for concurrent use.
+type Server struct {
+	cfg     Config
+	g       *graph.Graph
+	x       *index.Index
+	spheres []core.Result
+	tcSets  infmax.Spheres // extracted sphere sets for /v1/seeds
+
+	origIDs []int64                // dense -> original; nil = identity
+	denseOf map[int64]graph.NodeID // original -> dense; nil = identity
+
+	graphFP uint64
+	indexFP uint64
+	fpHex   string // cache-key suffix binding entries to the loaded index
+
+	cache   *lruCache
+	flights *flightGroup
+	adm     *admission
+	scratch sync.Pool // *index.Scratch
+
+	mux      *http.ServeMux
+	srv      *http.Server
+	done     chan struct{}
+	draining atomic.Bool
+	started  time.Time
+
+	mRequests *telemetry.Counter
+	mPartials *telemetry.Counter
+	mRejected *telemetry.Counter
+	mErrors   *telemetry.Counter
+	mLatency  map[string]*telemetry.Histogram
+	mByName   map[string]*telemetry.Counter
+}
+
+// endpointNames are the serving endpoints with per-endpoint metrics.
+var endpointNames = []string{"sphere", "stability", "seeds", "spread", "reliability", "modes", "info"}
+
+// New validates that the configured graph / index / sphere-store triple
+// belongs together and assembles the serving pipeline. Mismatches are
+// startup errors, not per-request surprises.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("server: Config.Graph is required")
+	}
+	if cfg.Index == nil {
+		return nil, errors.New("server: Config.Index is required")
+	}
+	graphFP := checkpoint.NewHasher().Graph(cfg.Graph).Sum()
+	if cfg.Index.Graph() != cfg.Graph {
+		// The index was loaded against some other graph value; accept it only
+		// if that graph hashes identically (same file loaded twice is fine).
+		if ixFP := checkpoint.NewHasher().Graph(cfg.Index.Graph()).Sum(); ixFP != graphFP {
+			return nil, fmt.Errorf("server: index was built for a different graph (graph fingerprint %016x, index graph fingerprint %016x)",
+				graphFP, ixFP)
+		}
+	}
+	if cfg.Spheres != nil && len(cfg.Spheres) != cfg.Graph.NumNodes() {
+		return nil, fmt.Errorf("server: sphere store has %d spheres for a graph of %d nodes (graph fingerprint %016x) — was it computed for a different graph?",
+			len(cfg.Spheres), cfg.Graph.NumNodes(), graphFP)
+	}
+	if cfg.OrigIDs != nil && len(cfg.OrigIDs) != cfg.Graph.NumNodes() {
+		return nil, fmt.Errorf("server: %d original ids for %d nodes", len(cfg.OrigIDs), cfg.Graph.NumNodes())
+	}
+
+	tel := cfg.Telemetry
+	s := &Server{
+		cfg:     cfg,
+		g:       cfg.Graph,
+		x:       cfg.Index,
+		spheres: cfg.Spheres,
+		origIDs: cfg.OrigIDs,
+		graphFP: graphFP,
+		indexFP: cfg.Index.Fingerprint(),
+		cache:   newLRUCache(cfg.cacheSize(), tel),
+		flights: newFlightGroup(tel),
+		adm:     newAdmission(cfg.maxInflight(), cfg.maxQueue(), tel),
+		done:    make(chan struct{}),
+		started: time.Now(),
+
+		mRequests: tel.Counter("server.requests"),
+		mPartials: tel.Counter("server.partials"),
+		mRejected: tel.Counter("server.rejected_overload"),
+		mErrors:   tel.Counter("server.errors"),
+		mLatency:  make(map[string]*telemetry.Histogram, len(endpointNames)),
+		mByName:   make(map[string]*telemetry.Counter, len(endpointNames)),
+	}
+	s.fpHex = fmt.Sprintf("%016x", s.indexFP)
+	for _, name := range endpointNames {
+		s.mLatency[name] = tel.Histogram("server.latency_ns." + name)
+		s.mByName[name] = tel.Counter("server.req." + name)
+	}
+	if cfg.OrigIDs != nil {
+		s.denseOf = make(map[int64]graph.NodeID, len(cfg.OrigIDs))
+		for v, id := range cfg.OrigIDs {
+			s.denseOf[id] = graph.NodeID(v)
+		}
+	}
+	if cfg.Spheres != nil {
+		s.tcSets = make(infmax.Spheres, len(cfg.Spheres))
+		for v := range cfg.Spheres {
+			s.tcSets[v] = cfg.Spheres[v].Set
+		}
+	}
+	s.scratch.New = func() any { return s.x.NewScratch() }
+	s.buildMux()
+	return s, nil
+}
+
+// GraphFingerprint returns the FNV-1a fingerprint of the loaded graph.
+func (s *Server) GraphFingerprint() uint64 { return s.graphFP }
+
+// IndexFingerprint returns the content fingerprint of the loaded index.
+func (s *Server) IndexFingerprint() uint64 { return s.indexFP }
+
+// Handler returns the serving mux: the /v1 API, /healthz, and the debug
+// endpoints (/metrics, /debug/vars, /debug/pprof/...) on the same mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("GET /v1/info", s.endpoint("info", false, s.handleInfo))
+	mux.Handle("GET /v1/sphere/{node}", s.endpoint("sphere", true, s.handleSphere))
+	mux.Handle("GET /v1/stability", s.endpoint("stability", true, s.handleStability))
+	mux.Handle("GET /v1/seeds", s.endpoint("seeds", true, s.handleSeeds))
+	mux.Handle("GET /v1/spread", s.endpoint("spread", true, s.handleSpread))
+	mux.Handle("GET /v1/reliability", s.endpoint("reliability", true, s.handleReliability))
+	mux.Handle("GET /v1/modes/{node}", s.endpoint("modes", true, s.handleModes))
+
+	// The -debug-addr surface of the CLIs, mounted on the serving mux: one
+	// listener serves queries and their own observability.
+	mux.Handle("GET /metrics", s.cfg.Telemetry.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+}
+
+// Start binds addr (":0" for ephemeral) and serves until Shutdown. It
+// returns the resolved listen address once the listener is bound.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // ErrServerClosed on Shutdown is the normal path
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains gracefully: new requests are refused with 503 while
+// requests already admitted run to completion (bounded by ctx). Safe to call
+// without Start (tests driving Handler directly); then it only flips the
+// drain flag.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.srv == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// result is a handler's outcome before marshaling: an HTTP status (200 or
+// 206) and the response value.
+type result struct {
+	status int
+	v      any
+}
+
+func ok(v any) result { return result{status: http.StatusOK, v: v} }
+
+// apiError is a handler-raised client error with a definite status code.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// budgetGrace is added to the request budget to form the hard context
+// deadline: the Budget machinery degrades sampling gracefully at the budget
+// instant, while the context kills runaway non-sampling work (greedy rounds,
+// marshaling) only well past it. Without the gap, a tiny budget would hit
+// ctx.Err() before the first sample and turn every 206 into a 503.
+const budgetGrace = 5 * time.Second
+
+// endpoint wraps a handler with the serving pipeline: metrics, drain check,
+// cache, budget, singleflight, admission, and error mapping.
+func (s *Server) endpoint(name string, cacheable bool, fn func(*http.Request) (result, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		s.mRequests.Inc()
+		s.mByName[name].Inc()
+		defer func() { s.mLatency[name].Observe(time.Since(start).Nanoseconds()) }()
+
+		if s.draining.Load() {
+			s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+
+		key := ""
+		useCache := cacheable && s.cfg.cacheSize() > 0
+		if useCache {
+			key = s.cacheKey(name, req)
+			if ent, hit := s.cache.get(key); hit {
+				writeCached(w, ent, true)
+				return
+			}
+		}
+
+		budget, err := s.requestBudget(req)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		deadline := start.Add(budget)
+		ctx, cancel := context.WithDeadline(req.Context(), deadline.Add(budgetGrace))
+		defer cancel()
+		req = req.WithContext(withBudgetDeadline(ctx, deadline))
+
+		compute := func() (*cached, error) {
+			if err := s.adm.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.adm.release()
+			if err := fault.Hit(fault.ServerCompute); err != nil {
+				return nil, err
+			}
+			res, err := fn(req)
+			if err != nil {
+				return nil, err
+			}
+			body, err := json.Marshal(res.v)
+			if err != nil {
+				return nil, err
+			}
+			return &cached{key: key, status: res.status, body: append(body, '\n')}, nil
+		}
+
+		var ent *cached
+		if useCache {
+			ent, err = s.flights.do(ctx, key, compute)
+		} else {
+			ent, err = compute()
+		}
+		if err != nil {
+			s.writeMappedError(w, err)
+			return
+		}
+		if ent.status == http.StatusPartialContent {
+			s.mPartials.Inc()
+		}
+		// Only complete (200) results are cached: a 206 reflects this
+		// request's budget, and replaying degraded data to a patient client
+		// would be wrong.
+		if useCache && ent.status == http.StatusOK {
+			s.cache.put(ent)
+		}
+		writeCached(w, ent, false)
+	})
+}
+
+func writeCached(w http.ResponseWriter, ent *cached, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(ent.status)
+	w.Write(ent.body)
+}
+
+func (s *Server) writeMappedError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		s.writeError(w, ae.status, ae.msg)
+	case errors.Is(err, errOverload):
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, checkpoint.ErrDeadline):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable,
+			"request budget too small to produce a result; retry with a larger budget")
+	case errors.Is(err, context.Canceled):
+		// Client went away; status code is a formality.
+		s.writeError(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	if status >= 400 && status != http.StatusTooManyRequests {
+		s.mErrors.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// cacheKey canonicalizes the request into a cache key: endpoint, path (which
+// carries {node}), sorted query parameters, and the index fingerprint, so a
+// daemon restarted over different artifacts never replays stale entries.
+func (s *Server) cacheKey(name string, req *http.Request) string {
+	q := req.URL.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(req.URL.Path)
+	b.WriteByte('?')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		vs := q[k]
+		sort.Strings(vs)
+		for j, v := range vs {
+			if j > 0 {
+				b.WriteByte('&')
+			}
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+	}
+	b.WriteByte('#')
+	b.WriteString(s.fpHex)
+	return b.String()
+}
+
+// requestBudget parses the budget parameter (a Go duration), applying the
+// configured default and cap.
+func (s *Server) requestBudget(req *http.Request) (time.Duration, error) {
+	v := req.URL.Query().Get("budget")
+	if v == "" {
+		return s.cfg.defaultBudget(), nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad budget %q: %v", v, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("budget must be positive, got %q", v)
+	}
+	if max := s.cfg.maxBudget(); d > max {
+		d = max
+	}
+	return d, nil
+}
+
+// budgetKey carries the sampling deadline (as opposed to the hard context
+// deadline, which includes budgetGrace) to the handlers.
+type budgetKey struct{}
+
+func withBudgetDeadline(ctx context.Context, deadline time.Time) context.Context {
+	return context.WithValue(ctx, budgetKey{}, deadline)
+}
+
+// samplingBudget returns the checkpoint Budget for the request's sampling
+// deadline.
+func samplingBudget(ctx context.Context) checkpoint.Budget {
+	if dl, ok := ctx.Value(budgetKey{}).(time.Time); ok {
+		return checkpoint.Budget{Deadline: dl}
+	}
+	return checkpoint.Budget{}
+}
+
+// --- id translation -------------------------------------------------------
+
+func (s *Server) orig(v graph.NodeID) int64 {
+	if s.origIDs == nil {
+		return int64(v)
+	}
+	return s.origIDs[v]
+}
+
+func (s *Server) origSlice(vs []graph.NodeID) []int64 {
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = s.orig(v)
+	}
+	return out
+}
+
+func (s *Server) dense(id int64) (graph.NodeID, bool) {
+	if s.denseOf != nil {
+		v, ok := s.denseOf[id]
+		return v, ok
+	}
+	if id < 0 || id >= int64(s.g.NumNodes()) {
+		return 0, false
+	}
+	return graph.NodeID(id), true
+}
+
+func (s *Server) pathNode(req *http.Request) (graph.NodeID, error) {
+	raw := req.PathValue("node")
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, badRequest("bad node %q", raw)
+	}
+	v, ok := s.dense(id)
+	if !ok {
+		return 0, notFound("unknown node %d", id)
+	}
+	return v, nil
+}
+
+// queryNodes parses a comma-separated list of original node ids.
+func (s *Server) queryNodes(req *http.Request, param string) ([]graph.NodeID, error) {
+	raw := req.URL.Query().Get(param)
+	if raw == "" {
+		return nil, badRequest("missing %s parameter (comma-separated node ids)", param)
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]graph.NodeID, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, badRequest("bad %s entry %q", param, p)
+		}
+		v, ok := s.dense(id)
+		if !ok {
+			return nil, notFound("unknown node %d", id)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func queryInt(req *http.Request, param string, def int) (int, error) {
+	raw := req.URL.Query().Get(param)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("bad %s %q", param, raw)
+	}
+	return n, nil
+}

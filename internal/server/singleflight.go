@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"soi/internal/telemetry"
+)
+
+// flightGroup deduplicates identical in-flight queries: the first request
+// for a key becomes the leader and computes; followers arriving before it
+// finishes block on the leader's result instead of competing for admission
+// slots. (Hand-rolled because the repo is dependency-free; the contract
+// matches golang.org/x/sync/singleflight.Do.)
+type flightGroup struct {
+	mu     sync.Mutex
+	m      map[string]*flight
+	shared *telemetry.Counter
+}
+
+type flight struct {
+	done chan struct{}
+	ent  *cached
+	err  error
+}
+
+func newFlightGroup(tel *telemetry.Registry) *flightGroup {
+	return &flightGroup{
+		m:      make(map[string]*flight),
+		shared: tel.Counter("server.singleflight.shared"),
+	}
+}
+
+// do runs fn once per key among concurrent callers. Followers wait for the
+// leader's result but give up when their own ctx expires — a follower with a
+// tight budget is not held hostage by a slow leader.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cached, error)) (*cached, error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.shared.Inc()
+		select {
+		case <-f.done:
+			return f.ent, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.ent, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.ent, f.err
+}

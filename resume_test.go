@@ -128,7 +128,7 @@ func TestBuildIndexInterruptResume(t *testing.T) {
 
 func TestAllTypicalCascadesInterruptResume(t *testing.T) {
 	g := resumeGraph(t)
-	x, err := BuildIndex(g, IndexOptions{Samples: 30, Seed: 12})
+	x, err := BuildIndex(context.Background(), g, IndexOptions{Samples: 30, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,8 +222,8 @@ func TestDeadlineReturnsUsablePartial(t *testing.T) {
 		t.Fatalf("partial index has %d worlds, want achieved %d", x.NumWorlds(), pe.Achieved)
 	}
 	// The partial index answers queries.
-	if res := AllTypicalCascades(x, TypicalOptions{}); len(res) != g.NumNodes() {
-		t.Fatalf("partial index unusable: got %d results", len(res))
+	if res, err := AllTypicalCascades(context.Background(), x, TypicalOptions{}); err != nil || len(res) != g.NumNodes() {
+		t.Fatalf("partial index unusable: got %d results, err %v", len(res), err)
 	}
 	// An impossible minimum is a hard error, not a partial result.
 	cfg.Budget.MinWorlds = 51

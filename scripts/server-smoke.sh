@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the soid query daemon: build the artifacts,
+# start the daemon on an ephemeral port, run a scripted client session that
+# exercises the happy path, a budget-truncated 206, an overload 429, and a
+# cache hit, then SIGTERM it and assert a clean drain (exit 0).
+#
+# Run via `make server-smoke`. Requires only the go toolchain and curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+soid_pid=""
+cleanup() {
+  [ -n "$soid_pid" ] && kill -9 "$soid_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { echo "server-smoke: FAIL: $*" >&2; exit 1; }
+
+# --- artifacts: a 30-node ring with shortcuts, index, sphere store --------
+awk 'BEGIN {
+  for (i = 0; i < 30; i++) printf "%d\t%d\t0.8\n", i, (i + 1) % 30;
+  for (i = 0; i < 30; i += 3) printf "%d\t%d\t0.3\n", i, (i + 7) % 30;
+}' > "$work/g.tsv"
+
+echo "server-smoke: building binaries"
+go build -o "$work/sphere" ./cmd/sphere
+go build -o "$work/soid" ./cmd/soid
+
+echo "server-smoke: building index and sphere store"
+"$work/sphere" -graph "$work/g.tsv" -samples 200 -build-index "$work/g.idx" > /dev/null
+"$work/sphere" -graph "$work/g.tsv" -index "$work/g.idx" -all \
+  -store "$work/g.spheres" -out /dev/null
+
+# --- start the daemon -----------------------------------------------------
+# One compute slot, no queue, and a one-shot 2s delay on the first compute:
+# that makes the overload test deterministic (request A holds the slot,
+# request B is shed with 429).
+echo "server-smoke: starting soid"
+SOI_FAILPOINTS="server/compute=delay:delay=2s:times=1" \
+  "$work/soid" -graph "$work/g.tsv" -index "$work/g.idx" \
+  -spheres "$work/g.spheres" -addr 127.0.0.1:0 -addr-file "$work/addr" \
+  -max-inflight 1 -max-queue -1 -drain-timeout 10s 2> "$work/soid.log" &
+soid_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$work/addr" ] && break
+  kill -0 "$soid_pid" 2>/dev/null || { cat "$work/soid.log" >&2; fail "soid died during startup"; }
+  sleep 0.1
+done
+[ -s "$work/addr" ] || fail "timed out waiting for the address file"
+addr="$(cat "$work/addr")"
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$addr/healthz" > /dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$addr/healthz" > /dev/null || fail "healthz never came up"
+echo "server-smoke: soid serving on $addr"
+
+get_code() { curl -s -o "$work/body" -w '%{http_code}' "http://$addr$1"; }
+
+# --- overload: slot held by a delayed request => second request shed ------
+curl -s -o "$work/slow" "http://$addr/v1/sphere/5?source=compute&samples=0" &
+slow_pid=$!
+sleep 0.5
+code="$(get_code '/v1/sphere/6?source=compute&samples=0')"
+[ "$code" = 429 ] || { cat "$work/body" >&2; fail "overloaded request got $code, want 429"; }
+grep -q overload "$work/body" || fail "429 body lacks an overload message"
+wait "$slow_pid" || fail "delayed request failed"
+grep -q '"sphere"' "$work/slow" || fail "delayed request returned no sphere"
+echo "server-smoke: overload shed with 429, slow request completed"
+
+# --- happy path -----------------------------------------------------------
+for path in '/v1/info' '/v1/sphere/3' '/v1/seeds?k=3' '/v1/spread?seeds=1,2' \
+            '/v1/stability?seeds=1&samples=50' \
+            '/v1/reliability?sources=0&threshold=0.5&samples=100' \
+            '/v1/modes/0?k=2'; do
+  code="$(get_code "$path")"
+  [ "$code" = 200 ] || { cat "$work/body" >&2; fail "GET $path got $code, want 200"; }
+done
+echo "server-smoke: all endpoints answered 200"
+
+# --- budget truncation => 206 with achieved count + error bound -----------
+code="$(get_code '/v1/spread?seeds=0&method=mc&trials=5000000&budget=5ms')"
+[ "$code" = 206 ] || { cat "$work/body" >&2; fail "budget-truncated request got $code, want 206"; }
+grep -q '"partial":true' "$work/body" || fail "206 body lacks partial flag"
+grep -q '"achieved"' "$work/body" || fail "206 body lacks achieved count"
+grep -q '"error_bound"' "$work/body" || fail "206 body lacks error bound"
+echo "server-smoke: tiny budget degraded to 206 with error bound"
+
+# --- cache ----------------------------------------------------------------
+curl -s -D "$work/headers" -o /dev/null "http://$addr/v1/sphere/3"
+grep -qi '^x-cache: hit' "$work/headers" || \
+  { cat "$work/headers" >&2; fail "repeated query was not served from cache"; }
+echo "server-smoke: repeated query served from cache"
+
+# --- graceful drain -------------------------------------------------------
+kill -TERM "$soid_pid"
+drain_code=0
+wait "$soid_pid" || drain_code=$?
+[ "$drain_code" = 0 ] || { cat "$work/soid.log" >&2; fail "soid exited $drain_code on SIGTERM, want 0"; }
+grep -q "drained cleanly" "$work/soid.log" || { cat "$work/soid.log" >&2; fail "no clean-drain notice in the log"; }
+soid_pid=""
+echo "server-smoke: PASS"

@@ -16,9 +16,16 @@
 // The typical workflow is:
 //
 //	g, _, err := soi.LoadGraph("network.tsv")     // or soi.Generate / builder
-//	idx, err := soi.BuildIndex(g, soi.IndexOptions{Samples: 1000, Seed: 1})
+//	idx, err := soi.BuildIndex(ctx, g, soi.IndexOptions{Samples: 1000, Seed: 1})
 //	sphere := soi.TypicalCascade(idx, v, soi.TypicalOptions{CostSamples: 1000})
-//	seeds, err := soi.SelectSeedsTC(g, soi.SpheresOf(soi.AllTypicalCascades(idx, soi.TypicalOptions{})), 200)
+//	spheres, err := soi.AllTypicalCascades(ctx, idx, soi.TypicalOptions{})
+//	seeds, err := soi.SelectSeedsTC(ctx, g, soi.SpheresOf(spheres), 200, soi.TCOptions{})
+//
+// Canonical signatures are context-first: every long-running API takes a
+// context.Context as its first argument for cooperative cancellation and
+// deadlines. The pre-context names suffixed …Ctx remain as thin deprecated
+// aliases of the canonical forms and will be removed in a future major
+// version; new code should call the canonical names.
 //
 // This package is a thin facade: the implementation lives in the internal/
 // packages documented in DESIGN.md.
@@ -123,6 +130,15 @@ func SaveGraph(path string, g *Graph, origIDs []int64) error {
 	return graph.SaveFile(path, g, origIDs)
 }
 
+// Fingerprint returns the FNV-1a content fingerprint of g — the same hash
+// the checkpoint layer keys resume files on. Servers and clients use it to
+// validate that a graph / index / sphere-store triple belongs together: the
+// soid daemon logs it at startup, rejects an -expect-fingerprint mismatch,
+// and reports it from /v1/info.
+func Fingerprint(g *Graph) uint64 {
+	return checkpoint.NewHasher().Graph(g).Sum()
+}
+
 // GenConfig configures the synthetic graph generators ("ba", "er", "ws",
 // "copying").
 type GenConfig = gen.Config
@@ -148,14 +164,18 @@ const (
 )
 
 // BuildIndex samples opts.Samples possible worlds of g and indexes them.
-func BuildIndex(g *Graph, opts IndexOptions) (*Index, error) { return index.Build(g, opts) }
-
-// BuildIndexCtx is BuildIndex with cooperative cancellation: build workers
-// check ctx between worlds and a canceled or expired context returns
-// ctx.Err() promptly. Worker panics are recovered and returned as errors
-// carrying the stack instead of crashing the process.
-func BuildIndexCtx(ctx context.Context, g *Graph, opts IndexOptions) (*Index, error) {
+// Build workers check ctx between worlds and a canceled or expired context
+// returns ctx.Err() promptly. Worker panics are recovered and returned as
+// errors carrying the stack instead of crashing the process.
+func BuildIndex(ctx context.Context, g *Graph, opts IndexOptions) (*Index, error) {
 	return index.BuildCtx(ctx, g, opts)
+}
+
+// BuildIndexCtx is the pre-context-first name of BuildIndex.
+//
+// Deprecated: call BuildIndex, whose canonical signature is context-first.
+func BuildIndexCtx(ctx context.Context, g *Graph, opts IndexOptions) (*Index, error) {
+	return BuildIndex(ctx, g, opts)
 }
 
 // BuildIndexResumable is BuildIndexCtx under the crash-safe execution
@@ -198,16 +218,19 @@ func SeedSetTypicalCascade(x *Index, seeds []NodeID, opts TypicalOptions) Sphere
 }
 
 // AllTypicalCascades computes the sphere of influence of every node
-// (Algorithm 2), in parallel.
-func AllTypicalCascades(x *Index, opts TypicalOptions) []Sphere {
-	return core.ComputeAll(x, opts)
+// (Algorithm 2), in parallel. Workers check ctx between nodes and a canceled
+// context returns ctx.Err() promptly with a nil result. Worker panics are
+// recovered into errors.
+func AllTypicalCascades(ctx context.Context, x *Index, opts TypicalOptions) ([]Sphere, error) {
+	return core.ComputeAllCtx(ctx, x, opts)
 }
 
-// AllTypicalCascadesCtx is AllTypicalCascades with cooperative cancellation:
-// workers check ctx between nodes and a canceled context returns ctx.Err()
-// promptly with a nil result. Worker panics are recovered into errors.
+// AllTypicalCascadesCtx is the pre-context-first name of AllTypicalCascades.
+//
+// Deprecated: call AllTypicalCascades, whose canonical signature is
+// context-first.
 func AllTypicalCascadesCtx(ctx context.Context, x *Index, opts TypicalOptions) ([]Sphere, error) {
-	return core.ComputeAllCtx(ctx, x, opts)
+	return AllTypicalCascades(ctx, x, opts)
 }
 
 // AllTypicalCascadesResumable is AllTypicalCascadesCtx under the crash-safe
@@ -259,23 +282,36 @@ func TakeoffProbability(modes []Mode) float64 { return core.TakeoffProbability(m
 
 // EstimateStability estimates ρ_{g,seeds}(set): the expected Jaccard
 // distance between set and a fresh random cascade from seeds. Lower is more
-// stable.
-func EstimateStability(g *Graph, seeds, set []NodeID, samples int, seed uint64) float64 {
-	return core.EstimateCost(g, seeds, set, samples, seed)
+// stable. ctx is checked between cascade samples.
+func EstimateStability(ctx context.Context, g *Graph, seeds, set []NodeID, samples int, seed uint64) (float64, error) {
+	cost, _, err := core.EstimateCostBudget(ctx, g, seeds, set, samples, seed, ModelIC, Budget{})
+	return cost, err
+}
+
+// EstimateStabilityBudget is EstimateStability under a wall-clock Budget, the
+// query-serving form: sampling stops when the deadline is too near to fit
+// another cascade. It returns the estimate, the achieved sample count, and —
+// when the deadline truncated sampling past the budget minimum — an error
+// matching ErrPartial whose *PartialError carries the error bound.
+func EstimateStabilityBudget(ctx context.Context, g *Graph, seeds, set []NodeID, samples int, seed uint64, budget Budget) (float64, int, error) {
+	return core.EstimateCostBudget(ctx, g, seeds, set, samples, seed, ModelIC, budget)
 }
 
 // JaccardDistance returns d_J(a, b) for sorted node sets.
 func JaccardDistance(a, b []NodeID) float64 { return jaccard.Distance(a, b) }
 
-// ExpectedSpread estimates σ(seeds) under the IC model by Monte Carlo.
-func ExpectedSpread(g *Graph, seeds []NodeID, trials int, seed uint64) float64 {
-	return cascade.ExpectedSpread(g, seeds, trials, seed, 0)
+// ExpectedSpread estimates σ(seeds) under the IC model by Monte Carlo. The
+// simulation workers check ctx between trials.
+func ExpectedSpread(ctx context.Context, g *Graph, seeds []NodeID, trials int, seed uint64) (float64, error) {
+	return cascade.ExpectedSpreadCtx(ctx, g, seeds, trials, seed, 0)
 }
 
-// ExpectedSpreadCtx is ExpectedSpread with cooperative cancellation: the
-// simulation workers check ctx between trials.
+// ExpectedSpreadCtx is the pre-context-first name of ExpectedSpread.
+//
+// Deprecated: call ExpectedSpread, whose canonical signature is
+// context-first.
 func ExpectedSpreadCtx(ctx context.Context, g *Graph, seeds []NodeID, trials int, seed uint64) (float64, error) {
-	return cascade.ExpectedSpreadCtx(ctx, g, seeds, trials, seed, 0)
+	return ExpectedSpread(ctx, g, seeds, trials, seed)
 }
 
 // ExpectedSpreadResumable is ExpectedSpreadCtx under the crash-safe
@@ -325,43 +361,48 @@ type MCOptions = infmax.MCOptions
 // SelectSeedsStdMC runs the paper-faithful InfMax_std: CELF greedy whose
 // marginal gains are re-estimated with fresh IC simulations at every
 // evaluation. Slower and noisier than SelectSeedsStd — the noise is the
-// saturation mechanism the paper analyzes.
-func SelectSeedsStdMC(g *Graph, k int, opts MCOptions) (Selection, error) {
-	return infmax.StdMC(g, k, opts)
-}
-
-// SelectSeedsStdMCCtx is SelectSeedsStdMC with cooperative cancellation: ctx
-// is checked before every marginal-gain evaluation and between Monte-Carlo
-// trials, so a canceled context aborts the greedy promptly with ctx.Err().
-func SelectSeedsStdMCCtx(ctx context.Context, g *Graph, k int, opts MCOptions) (Selection, error) {
+// saturation mechanism the paper analyzes. ctx is checked before every
+// marginal-gain evaluation and between Monte-Carlo trials, so a canceled
+// context aborts the greedy promptly with ctx.Err().
+func SelectSeedsStdMC(ctx context.Context, g *Graph, k int, opts MCOptions) (Selection, error) {
 	return infmax.StdMCCtx(ctx, g, k, opts)
 }
 
-// SelectSeedsTC runs the paper's InfMax_TC (Algorithm 3): greedy maximum
-// coverage over the spheres of influence.
-func SelectSeedsTC(g *Graph, spheres Spheres, k int) (Selection, error) {
-	return infmax.TC(g, spheres, k)
+// SelectSeedsStdMCCtx is the pre-context-first name of SelectSeedsStdMC.
+//
+// Deprecated: call SelectSeedsStdMC, whose canonical signature is
+// context-first.
+func SelectSeedsStdMCCtx(ctx context.Context, g *Graph, k int, opts MCOptions) (Selection, error) {
+	return SelectSeedsStdMC(ctx, g, k, opts)
 }
 
-// SelectSeedsTCTel is SelectSeedsTC reporting greedy metrics and an
-// "infmax.tc.greedy" span into tel (nil disables).
-func SelectSeedsTCTel(g *Graph, spheres Spheres, k int, tel *Telemetry) (Selection, error) {
-	return infmax.TCTel(g, spheres, k, tel)
+// TCOptions configures SelectSeedsTC; the zero value is ready to use. Its
+// Telemetry field (nil disables) receives greedy metrics and an
+// "infmax.tc.greedy" span, replacing the removed SelectSeedsTCTel.
+type TCOptions = infmax.TCOptions
+
+// SelectSeedsTC runs the paper's InfMax_TC (Algorithm 3): greedy maximum
+// coverage over the spheres of influence. ctx is checked before every gain
+// evaluation.
+func SelectSeedsTC(ctx context.Context, g *Graph, spheres Spheres, k int, opts TCOptions) (Selection, error) {
+	return infmax.TC(ctx, g, spheres, k, opts)
 }
 
 // RROptions configures the reverse-reachable-sketch method.
 type RROptions = infmax.RROptions
 
 // SelectSeedsRR runs reverse-reachable-sketch influence maximization (Borgs
-// et al. / TIM style): greedy max-cover over sampled RR sets.
-func SelectSeedsRR(g *Graph, k int, opts RROptions) (Selection, error) {
-	return infmax.RR(g, k, opts)
+// et al. / TIM style): greedy max-cover over sampled RR sets. ctx is checked
+// between RR-set samples and greedy rounds.
+func SelectSeedsRR(ctx context.Context, g *Graph, k int, opts RROptions) (Selection, error) {
+	return infmax.RRCtx(ctx, g, k, opts)
 }
 
-// SelectSeedsRRCtx is SelectSeedsRR with cooperative cancellation: ctx is
-// checked between RR-set samples and greedy rounds.
+// SelectSeedsRRCtx is the pre-context-first name of SelectSeedsRR.
+//
+// Deprecated: call SelectSeedsRR, whose canonical signature is context-first.
 func SelectSeedsRRCtx(ctx context.Context, g *Graph, k int, opts RROptions) (Selection, error) {
-	return infmax.RRCtx(ctx, g, k, opts)
+	return SelectSeedsRR(ctx, g, k, opts)
 }
 
 // SelectSeedsRRResumable is SelectSeedsRRCtx under the crash-safe execution
@@ -380,15 +421,18 @@ type RRAutoOptions = infmax.RRAutoOptions
 // SelectSeedsRRAuto is SelectSeedsRR with TIM's automatic sample-size
 // selection: the number of RR sets is derived from the graph (KPT
 // estimation) to guarantee a (1-1/e-ε)-approximation. Returns the selection
-// and the θ chosen.
-func SelectSeedsRRAuto(g *Graph, k int, opts RRAutoOptions) (Selection, int, error) {
-	return infmax.RRAuto(g, k, opts)
+// and the θ chosen. ctx is checked during both TIM phases (KPT estimation
+// and RR sampling).
+func SelectSeedsRRAuto(ctx context.Context, g *Graph, k int, opts RRAutoOptions) (Selection, int, error) {
+	return infmax.RRAutoCtx(ctx, g, k, opts)
 }
 
-// SelectSeedsRRAutoCtx is SelectSeedsRRAuto with cooperative cancellation:
-// ctx is checked during both TIM phases (KPT estimation and RR sampling).
+// SelectSeedsRRAutoCtx is the pre-context-first name of SelectSeedsRRAuto.
+//
+// Deprecated: call SelectSeedsRRAuto, whose canonical signature is
+// context-first.
 func SelectSeedsRRAutoCtx(ctx context.Context, g *Graph, k int, opts RRAutoOptions) (Selection, int, error) {
-	return infmax.RRAutoCtx(ctx, g, k, opts)
+	return SelectSeedsRRAuto(ctx, g, k, opts)
 }
 
 // SelectSeedsDegree and SelectSeedsRandom are the classical baselines.
@@ -467,21 +511,25 @@ func NewStreamingLearner(topology *Graph, cfg StreamingLearnerConfig) (*Streamin
 	return probs.NewStreamingGoyal(topology, cfg)
 }
 
-// Reliability estimates the probability that t is reachable from s.
-func Reliability(g *Graph, s, t NodeID, samples int, seed uint64) (float64, error) {
-	return reliability.ST(g, s, t, samples, seed)
+// Reliability estimates the probability that t is reachable from s. ctx is
+// checked between the underlying cascade samples.
+func Reliability(ctx context.Context, g *Graph, s, t NodeID, samples int, seed uint64) (float64, error) {
+	return reliability.STCtx(ctx, g, s, t, samples, seed)
 }
 
 // ReliabilitySearch returns the nodes reachable from the sources with
-// probability at least threshold.
-func ReliabilitySearch(g *Graph, sources []NodeID, threshold float64, samples int, seed uint64) ([]NodeID, error) {
-	return reliability.Search(g, sources, threshold, samples, seed)
+// probability at least threshold. ctx is checked between the underlying
+// cascade samples.
+func ReliabilitySearch(ctx context.Context, g *Graph, sources []NodeID, threshold float64, samples int, seed uint64) ([]NodeID, error) {
+	return reliability.SearchCtx(ctx, g, sources, threshold, samples, seed)
 }
 
-// ReliabilitySearchCtx is ReliabilitySearch with cooperative cancellation:
-// ctx is checked between the underlying cascade samples.
+// ReliabilitySearchCtx is the pre-context-first name of ReliabilitySearch.
+//
+// Deprecated: call ReliabilitySearch, whose canonical signature is
+// context-first.
 func ReliabilitySearchCtx(ctx context.Context, g *Graph, sources []NodeID, threshold float64, samples int, seed uint64) ([]NodeID, error) {
-	return reliability.SearchCtx(ctx, g, sources, threshold, samples, seed)
+	return ReliabilitySearch(ctx, g, sources, threshold, samples, seed)
 }
 
 // Dataset is one of the paper's 12 experimental configurations materialized

@@ -1,6 +1,7 @@
 package soi
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -18,12 +19,16 @@ func TestEndToEndViralMarketing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := BuildIndex(g, IndexOptions{Samples: 200, Seed: 2, TransitiveReduction: true})
+	idx, err := BuildIndex(context.Background(), g, IndexOptions{Samples: 200, Seed: 2, TransitiveReduction: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	spheres := SpheresOf(AllTypicalCascades(idx, TypicalOptions{}))
+	all, err := AllTypicalCascades(context.Background(), idx, TypicalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spheres := SpheresOf(all)
 	if len(spheres) != g.NumNodes() {
 		t.Fatalf("spheres: %d for %d nodes", len(spheres), g.NumNodes())
 	}
@@ -33,7 +38,7 @@ func TestEndToEndViralMarketing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tc, err := SelectSeedsTC(g, spheres, k)
+	tc, err := SelectSeedsTC(context.Background(), g, spheres, k, TCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +73,7 @@ func TestTypicalCascadeAndStability(t *testing.T) {
 	b.AddEdge(1, 2, 0.9)
 	b.AddEdge(2, 3, 0.05)
 	g := b.MustBuild()
-	idx, err := BuildIndex(g, IndexOptions{Samples: 500, Seed: 4})
+	idx, err := BuildIndex(context.Background(), g, IndexOptions{Samples: 500, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +93,10 @@ func TestTypicalCascadeAndStability(t *testing.T) {
 		t.Fatalf("stability %v out of expected band", sphere.ExpectedCost)
 	}
 	// Direct stability estimate agrees.
-	direct := EstimateStability(g, []NodeID{0}, sphere.Set, 2000, 6)
+	direct, err := EstimateStability(context.Background(), g, []NodeID{0}, sphere.Set, 2000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(direct-sphere.ExpectedCost) > 0.05 {
 		t.Fatalf("EstimateStability %v vs sphere cost %v", direct, sphere.ExpectedCost)
 	}
@@ -124,14 +132,14 @@ func TestReliabilityFacade(t *testing.T) {
 	b.AddEdge(0, 1, 0.5)
 	b.AddEdge(1, 2, 0.5)
 	g := b.MustBuild()
-	rel, err := Reliability(g, 0, 2, 100000, 9)
+	rel, err := Reliability(context.Background(), g, 0, 2, 100000, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(rel-0.25) > 0.01 {
 		t.Fatalf("rel = %v, want ~0.25", rel)
 	}
-	nodes, err := ReliabilitySearch(g, []NodeID{0}, 0.4, 50000, 10)
+	nodes, err := ReliabilitySearch(context.Background(), g, []NodeID{0}, 0.4, 50000, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +189,7 @@ func TestIndexPersistenceFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := BuildIndex(g, IndexOptions{Samples: 20, Seed: 12})
+	idx, err := BuildIndex(context.Background(), g, IndexOptions{Samples: 20, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +217,7 @@ func TestFacadeNewMethods(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := BuildIndex(g, IndexOptions{Samples: 60, Seed: 22})
+	idx, err := BuildIndex(context.Background(), g, IndexOptions{Samples: 60, Seed: 22})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,14 +239,14 @@ func TestFacadeNewMethods(t *testing.T) {
 			t.Fatalf("CELF++ diverges at prefix %d", i+1)
 		}
 	}
-	rr, err := SelectSeedsRR(g, k, RROptions{Sets: 4000, Seed: 23})
+	rr, err := SelectSeedsRR(context.Background(), g, k, RROptions{Sets: 4000, Seed: 23})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rr.Seeds) != k {
 		t.Fatalf("RR selected %d seeds", len(rr.Seeds))
 	}
-	mc, err := SelectSeedsStdMC(g, 3, MCOptions{Trials: 60, Seed: 24})
+	mc, err := SelectSeedsStdMC(context.Background(), g, 3, MCOptions{Trials: 60, Seed: 24})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +264,7 @@ func TestFacadeLTModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := BuildIndex(g, IndexOptions{Samples: 80, Seed: 26, Model: ModelLT})
+	idx, err := BuildIndex(context.Background(), g, IndexOptions{Samples: 80, Seed: 26, Model: ModelLT})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +283,7 @@ func TestFacadeRefinedMedian(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := BuildIndex(g, IndexOptions{Samples: 100, Seed: 29})
+	idx, err := BuildIndex(context.Background(), g, IndexOptions{Samples: 100, Seed: 29})
 	if err != nil {
 		t.Fatal(err)
 	}
