@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke all
+.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke conformance cover all
 
 all: build vet test
 
@@ -19,15 +19,17 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Machine-readable benchmark baseline: run the root benchmark suite and
-# convert the output to JSON (schema soi.bench/v1) keyed by benchmark name.
-# BENCHTIME=1x gives a smoke run; the committed BENCH_*.json baselines use
-# the default benchtime.
+# Machine-readable benchmark baseline: run the root and server benchmark
+# suites and convert the combined output to JSON (schema soi.bench/v1) keyed
+# by benchmark name. BENCHTIME=1x gives a smoke run; the committed
+# BENCH_*.json baselines use the default benchtime.
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr5.json
 
 bench-json:
-	$(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	{ $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) . ; \
+	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/server ; } \
+	  | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz runs over every binary-format decoder (graph TSV, index v02,
 # checkpoint SOICKP01). Each gets its own `go test` invocation because -fuzz
@@ -44,6 +46,19 @@ fuzz-smoke:
 # and 429), and assert a clean SIGTERM drain.
 server-smoke:
 	./scripts/server-smoke.sh
+
+# Exact-oracle conformance suite: every estimator checked against the
+# brute-force possible-world oracle within statcheck-derived bounds.
+# -count=2 runs everything twice to flush out any order or cache
+# dependence — the suite is deterministic by construction, so both runs
+# must agree.
+conformance:
+	$(GO) test -run 'Conformance|Oracle' -count=2 ./...
+
+# Coverage gate: full-suite statement coverage must stay at or above the
+# floor pinned in scripts/coverage-gate.sh (override with COVER_MIN=NN.N).
+cover:
+	./scripts/coverage-gate.sh
 
 fmt:
 	gofmt -w .

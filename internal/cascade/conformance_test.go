@@ -1,0 +1,66 @@
+package cascade
+
+import (
+	"testing"
+
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/oracle"
+	"soi/internal/statcheck"
+)
+
+func conformanceGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(5)
+	b.AddEdge(4, 0, 0.7)
+	b.AddEdge(4, 1, 0.4)
+	b.AddEdge(4, 3, 0.3)
+	b.AddEdge(0, 1, 0.1)
+	b.AddEdge(3, 1, 0.6)
+	b.AddEdge(1, 0, 0.1)
+	b.AddEdge(1, 2, 0.4)
+	return b.MustBuild()
+}
+
+// TestConformanceExpectedSpread holds the Monte-Carlo spread estimator to
+// the oracle for several seed sets. Each trial's spread lies in [0, n], so
+// the Hoeffding bound is scaled by n; the seed sets are fixed a priori, so a
+// union over them suffices.
+func TestConformanceExpectedSpread(t *testing.T) {
+	g := conformanceGraph(t)
+	n := float64(g.NumNodes())
+	seedSets := [][]graph.NodeID{{4}, {0}, {1, 3}, {0, 1, 2, 3, 4}}
+	const trials = 20000
+	b := statcheck.Hoeffding(trials).Union(len(seedSets)).Scale(n)
+	for i, seeds := range seedSets {
+		exact, err := oracle.ExpectedSpread(g, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ExpectedSpread(g, seeds, trials, 80+uint64(i), 0)
+		statcheck.Close(t, "ExpectedSpread vs oracle", got, exact, b)
+	}
+}
+
+// TestConformanceSpreadFromIndex checks the index-coverage spread estimate:
+// it is the empirical mean of trial spreads over the index's ell sampled
+// worlds, so the same scaled Hoeffding bound applies with ell = Samples.
+func TestConformanceSpreadFromIndex(t *testing.T) {
+	g := conformanceGraph(t)
+	n := float64(g.NumNodes())
+	const ell = 20000
+	x, err := index.Build(g, index.Options{Samples: ell, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedSets := [][]graph.NodeID{{4}, {1, 3}}
+	b := statcheck.Hoeffding(ell).Union(len(seedSets)).Scale(n)
+	s := x.NewScratch()
+	for _, seeds := range seedSets {
+		exact, err := oracle.ExpectedSpread(g, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statcheck.Close(t, "SpreadFromIndex vs oracle", SpreadFromIndex(x, seeds, s), exact, b)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"soi/internal/checkpoint"
+	"soi/internal/graph"
+	"soi/internal/index"
+	"soi/internal/oracle"
+	"soi/internal/statcheck"
+)
+
+// TestConformanceEstimateStability holds the held-out stability estimator to
+// the oracle: for a candidate set fixed a priori, EstimateCost is the mean
+// of ell i.i.d. [0,1] Jaccard distances, so plain Hoeffding applies.
+func TestConformanceEstimateStability(t *testing.T) {
+	g := paperGraph(t)
+	dist, err := oracle.CascadeDistribution(g, []graph.NodeID{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 20000
+	b := statcheck.Hoeffding(ell)
+	for _, cand := range [][]graph.NodeID{{4}, {0, 4}, {0, 1, 4}, {0, 1, 2, 3, 4}} {
+		est := EstimateCost(g, []graph.NodeID{4}, cand, ell, 77)
+		statcheck.Close(t, "EstimateCost vs oracle rho", est, dist.Rho(cand), b)
+	}
+}
+
+// TestConformanceEstimateStabilitySeedSet runs the same check for a
+// multi-node source set (the paper's §5 seed-set stability extension).
+func TestConformanceEstimateStabilitySeedSet(t *testing.T) {
+	g := paperGraph(t)
+	seeds := []graph.NodeID{0, 3}
+	dist, err := oracle.CascadeDistribution(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 20000
+	cand := []graph.NodeID{0, 1, 3}
+	est := EstimateCost(g, seeds, cand, ell, 78)
+	statcheck.Close(t, "seed-set EstimateCost vs oracle rho", est, dist.Rho(cand), statcheck.Hoeffding(ell))
+}
+
+// TestConformanceEstimateCostBudget: with a zero budget the budgeted
+// estimator must reproduce the plain estimator bit for bit (same sample
+// stream), achieve every requested sample, and still agree with the oracle.
+func TestConformanceEstimateCostBudget(t *testing.T) {
+	g := paperGraph(t)
+	dist, err := oracle.CascadeDistribution(g, []graph.NodeID{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 20000
+	cand := []graph.NodeID{0, 4}
+	plain := EstimateCost(g, []graph.NodeID{4}, cand, ell, 79)
+	got, achieved, err := EstimateCostBudget(context.Background(), g,
+		[]graph.NodeID{4}, cand, ell, 79, index.IC, checkpoint.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if achieved != ell {
+		t.Fatalf("achieved %d of %d samples with no deadline", achieved, ell)
+	}
+	if got != plain {
+		t.Fatalf("budgeted estimate %v != plain estimate %v (same seed, same stream)", got, plain)
+	}
+	statcheck.Close(t, "EstimateCostBudget vs oracle rho", got, dist.Rho(cand), statcheck.Hoeffding(ell))
+}
+
+// TestConformanceComputeFromSet: the typical cascade of a seed set, computed
+// by exhaustive median search on the sampled cascades, lands within the ERM
+// bound of the set's exact optimal typical cascade.
+func TestConformanceComputeFromSet(t *testing.T) {
+	g := paperGraph(t)
+	seeds := []graph.NodeID{4, 3}
+	dist, err := oracle.CascadeDistribution(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestCost, err := dist.OptimalTypicalCascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 4000
+	x := buildIndex(t, g, ell, 52)
+	res := ComputeFromSet(x, seeds, Options{Algorithm: MedianExact})
+	statcheck.AtMost(t, "seed-set sampled median", dist.Rho(res.Set), bestCost,
+		statcheck.ERM(ell, 1<<5))
+}
+
+// TestConformanceRhoRelabelInvariance is the metamorphic companion at the
+// estimator level: relabeling nodes must not change the estimated stability
+// beyond two independent sampling errors.
+func TestConformanceRhoRelabelInvariance(t *testing.T) {
+	g := paperGraph(t)
+	perm := []graph.NodeID{2, 4, 0, 1, 3} // old id -> new id
+	b := graph.NewBuilder(5)
+	for _, e := range g.Edges() {
+		b.AddEdge(perm[e.From], perm[e.To], e.Prob)
+	}
+	pg := b.MustBuild()
+
+	const ell = 20000
+	cand := []graph.NodeID{0, 1, 4}
+	pcand := make([]graph.NodeID, len(cand))
+	for i, v := range cand {
+		pcand[i] = perm[v]
+	}
+	sort.Slice(pcand, func(i, j int) bool { return pcand[i] < pcand[j] })
+	est := EstimateCost(g, []graph.NodeID{4}, cand, ell, 80)
+	pest := EstimateCost(pg, []graph.NodeID{perm[4]}, pcand, ell, 81)
+	// Each estimate is within eps of the same exact value, so they are
+	// within 2*eps of each other.
+	statcheck.Close(t, "rho invariance under relabeling", est, pest,
+		statcheck.Hoeffding(ell).Scale(2))
+}

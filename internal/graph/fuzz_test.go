@@ -16,6 +16,16 @@ func FuzzReadTSV(f *testing.F) {
 	f.Add("9999999999999999999 2 0.5\n")
 	f.Add("1 2 NaN\n")
 	f.Add("1 2 1e-300\n")
+	f.Add("1 2 -0.5\n")              // negative probability
+	f.Add("1 2 1.5\n")               // probability above 1
+	f.Add("1 2 0\n")                 // zero probability (unrepresentable edge)
+	f.Add("1 2 +Inf\n")              // infinite probability
+	f.Add("1 2 1e309\n")             // overflows float64 to +Inf
+	f.Add("1 2 0.5\n1 2 0.7\n")      // duplicate edge, conflicting probability
+	f.Add("1 2 0.5\r\n2 3 0.25\r\n") // CRLF line endings
+	f.Add("1 2 0.5 extra\n")         // trailing field
+	f.Add("-1 2 0.5\n")              // negative node id
+	f.Add("1\t2\t\n0.5\n")           // field split across lines
 	f.Fuzz(func(t *testing.T, input string) {
 		g, orig, err := ReadTSV(strings.NewReader(input))
 		if err != nil {

@@ -1,0 +1,104 @@
+package oracle
+
+import (
+	"fmt"
+	"math/bits"
+
+	"soi/internal/graph"
+)
+
+// SpreadOracle answers exact expected-spread queries for arbitrary seed
+// sets of one graph. Unlike CascadeDistribution it cannot prune edges by
+// seed reachability (the seeds vary per query), so it enumerates every
+// uncertain edge once and precomputes, per world, the reachability mask of
+// every node. A seed-set query then reduces to OR-ing member masks across
+// worlds, which makes exhaustive optimal-seed-set search over all k-subsets
+// affordable on enumerable graphs.
+type SpreadOracle struct {
+	n     int
+	probs []float64 // probs[w] is the probability of world w
+	reach [][]uint64
+	// reach[w][v] is the bitmask of nodes reachable from v in world w.
+}
+
+// NewSpreadOracle enumerates the worlds of g and precomputes per-world
+// reachability for every node.
+func NewSpreadOracle(g *graph.Graph) (*SpreadOracle, error) {
+	we, err := newWorldEnum(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	worlds := we.numWorlds()
+	o := &SpreadOracle{
+		n:     we.n,
+		probs: make([]float64, worlds),
+		reach: make([][]uint64, worlds),
+	}
+	stack := make([]graph.NodeID, 0, we.n)
+	for w := 0; w < worlds; w++ {
+		o.probs[w] = we.worldProb(uint64(w))
+		masks := make([]uint64, we.n)
+		for v := 0; v < we.n; v++ {
+			masks[v] = we.reach(1<<uint(v), uint64(w), stack)
+		}
+		o.reach[w] = masks
+	}
+	return o, nil
+}
+
+// NumNodes returns the node count of the underlying graph.
+func (o *SpreadOracle) NumNodes() int { return o.n }
+
+// NumWorlds returns the number of enumerated worlds.
+func (o *SpreadOracle) NumWorlds() int { return len(o.probs) }
+
+// Spread returns the exact expected spread σ(seeds) = E[|reachable(seeds)|].
+func (o *SpreadOracle) Spread(seeds []graph.NodeID) (float64, error) {
+	for _, s := range seeds {
+		if s < 0 || int(s) >= o.n {
+			return 0, fmt.Errorf("oracle: node %d out of range [0,%d)", s, o.n)
+		}
+	}
+	total := 0.0
+	for w, masks := range o.reach {
+		var covered uint64
+		for _, s := range seeds {
+			covered |= masks[s]
+		}
+		total += o.probs[w] * float64(bits.OnesCount64(covered))
+	}
+	return total, nil
+}
+
+// OptimalSeedSet exhaustively searches all size-k seed sets and returns an
+// exact influence-maximizing set with its spread. Ties break toward the
+// lexicographically smallest node mask, making the result deterministic.
+func (o *SpreadOracle) OptimalSeedSet(k int) ([]graph.NodeID, float64, error) {
+	if k < 1 || k > o.n {
+		return nil, 0, fmt.Errorf("oracle: k=%d outside [1,%d]", k, o.n)
+	}
+	if o.n > MaxUniverse {
+		return nil, 0, fmt.Errorf("oracle: %d nodes, exhaustive seed search supports at most %d", o.n, MaxUniverse)
+	}
+	bestMask, bestSpread := uint64(0), -1.0
+	for mask := uint64(1); mask < 1<<uint(o.n); mask++ {
+		if bits.OnesCount64(mask) != k {
+			continue
+		}
+		total := 0.0
+		for w, masks := range o.reach {
+			var covered uint64
+			m := mask
+			for m != 0 {
+				v := bits.TrailingZeros64(m)
+				covered |= masks[v]
+				m &^= 1 << uint(v)
+			}
+			total += o.probs[w] * float64(bits.OnesCount64(covered))
+		}
+		if total > bestSpread {
+			bestSpread, bestMask = total, mask
+		}
+	}
+	return SetOf(bestMask), bestSpread, nil
+}

@@ -1,0 +1,144 @@
+package statcheck
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHoeffdingFormula(t *testing.T) {
+	b := HoeffdingDelta(1000, 0.05)
+	want := math.Sqrt(math.Log(2/0.05) / 2000)
+	if math.Abs(b.Eps-want) > 1e-15 {
+		t.Fatalf("eps = %v, want %v", b.Eps, want)
+	}
+	if b.Ell != 1000 || b.Delta != 0.05 || b.Candidates != 1 {
+		t.Fatalf("bound metadata %+v wrong", b)
+	}
+	// More samples tighten the bound; smaller delta widens it.
+	if !(Hoeffding(4000).Eps < Hoeffding(1000).Eps) {
+		t.Error("eps must shrink with ell")
+	}
+	if !(HoeffdingDelta(1000, 1e-9).Eps > HoeffdingDelta(1000, 1e-3).Eps) {
+		t.Error("eps must grow as delta shrinks")
+	}
+}
+
+func TestUnionAndScale(t *testing.T) {
+	b := Hoeffding(500)
+	u := b.Union(32)
+	want := math.Sqrt(math.Log(2*32/DefaultDelta) / 1000)
+	if math.Abs(u.Eps-want) > 1e-15 {
+		t.Fatalf("union eps = %v, want %v", u.Eps, want)
+	}
+	if u.Candidates != 32 {
+		t.Fatalf("candidates = %d, want 32", u.Candidates)
+	}
+	s := b.Scale(7)
+	if math.Abs(s.Eps-7*b.Eps) > 1e-15 {
+		t.Fatalf("scaled eps = %v, want %v", s.Eps, 7*b.Eps)
+	}
+	if !strings.Contains(s.Derivation, "scaled") {
+		t.Error("derivation must record the scaling step")
+	}
+}
+
+func TestERMIsTwiceUnion(t *testing.T) {
+	e := ERM(2000, 64)
+	u := Hoeffding(2000).Union(64)
+	if math.Abs(e.Eps-2*u.Eps) > 1e-15 {
+		t.Fatalf("ERM eps = %v, want 2*union = %v", e.Eps, 2*u.Eps)
+	}
+}
+
+// fakeT captures failures so the assertion helpers can be tested both ways.
+type fakeT struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (f *fakeT) Helper() {}
+func (f *fakeT) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = format
+}
+
+func TestCloseWithinBoundPasses(t *testing.T) {
+	f := &fakeT{TB: t}
+	b := Hoeffding(100)
+	Close(f, "x", 0.5, 0.5+b.Eps/2, b)
+	if f.failed {
+		t.Fatal("in-bound estimate failed")
+	}
+	Close(f, "x", 0.5, 0.5+2*b.Eps, b)
+	if !f.failed {
+		t.Fatal("out-of-bound estimate passed")
+	}
+	if !strings.Contains(f.msg, "eps") {
+		t.Fatalf("failure message %q must carry the bound math", f.msg)
+	}
+}
+
+func TestOneSidedAssertions(t *testing.T) {
+	b := Hoeffding(100)
+	f := &fakeT{TB: t}
+	AtMost(f, "x", 1.0, 1.0-b.Eps/2, b) // within slack
+	if f.failed {
+		t.Fatal("AtMost failed within slack")
+	}
+	AtMost(f, "x", 1.0, 1.0-2*b.Eps, b)
+	if !f.failed {
+		t.Fatal("AtMost passed beyond slack")
+	}
+	f = &fakeT{TB: t}
+	AtLeast(f, "x", 1.0, 1.0+b.Eps/2, b)
+	if f.failed {
+		t.Fatal("AtLeast failed within slack")
+	}
+	AtLeast(f, "x", 1.0, 1.0+2*b.Eps, b)
+	if !f.failed {
+		t.Fatal("AtLeast passed beyond slack")
+	}
+}
+
+func TestInMargin(t *testing.T) {
+	b := Hoeffding(400)
+	if !InMargin(0.5+b.Eps/2, 0.5, b) {
+		t.Error("value inside eps of threshold must be in margin")
+	}
+	if InMargin(0.5+2*b.Eps, 0.5, b) {
+		t.Error("value far from threshold must not be in margin")
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	f := &fakeT{TB: t}
+	Numeric(f, "sum", 1.0, 1.0+0x1p-53, 4)
+	if f.failed {
+		t.Fatal("half-ulp disagreement must pass at 4 ops")
+	}
+	Numeric(f, "sum", 1.0, 1.0+1e-9, 4)
+	if !f.failed {
+		t.Fatal("1e-9 disagreement must fail a 4-op tolerance")
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ell=0":    func() { Hoeffding(0) },
+		"delta=0":  func() { HoeffdingDelta(10, 0) },
+		"delta=1":  func() { HoeffdingDelta(10, 1) },
+		"union(0)": func() { Hoeffding(10).Union(0) },
+		"scale(0)": func() { Hoeffding(10).Scale(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Coverage gate: run the full test suite with a coverage profile and fail
+# if total statement coverage drops below the floor. The floor is pinned
+# just under the measured baseline at the time the gate was added (77.8%),
+# so it only trips on regressions, never on noise.
+#
+# Run via `make cover`. Override the floor with COVER_MIN=NN.N.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MIN="${COVER_MIN:-77.0}"
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./...
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+
+awk -v t="$total" -v m="$MIN" 'BEGIN {
+    if (t + 0 < m + 0) {
+        printf "FAIL: total coverage %.1f%% is below the %.1f%% gate\n", t, m
+        exit 1
+    }
+    printf "ok: total coverage %.1f%% (gate %.1f%%)\n", t, m
+}'
