@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke conformance cover all
+.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke topology-smoke conformance cover all
 
 all: build vet test
 
@@ -46,6 +46,13 @@ fuzz-smoke:
 # and 429), and assert a clean SIGTERM drain.
 server-smoke:
 	./scripts/server-smoke.sh
+
+# Sharded-serving smoke: partition a graph, start a gateway over two soid
+# shards (one with a spare replica), then exercise replica failover, a
+# mid-query shard kill degrading to a bounded 206, circuit-breaker recovery
+# after a restart, and a clean SIGTERM drain.
+topology-smoke:
+	./scripts/topology-smoke.sh
 
 # Exact-oracle conformance suite: every estimator checked against the
 # brute-force possible-world oracle within statcheck-derived bounds.

@@ -86,6 +86,24 @@ func run(graphPath, indexPath, spherePath string, samples int, lt bool,
 		cacheSize = -1 // flag semantics: 0 disables; Config uses negative for that
 	}
 
+	// Bind the address before loading anything: /healthz answers 200 and
+	// /readyz 503 "loading" from the first instant, so routers and scripts
+	// can tell "starting up" from "dead" while the artifacts load.
+	gate := server.NewGate()
+	resolved, err := gate.Start(addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := atomicfile.WriteFile(addrFile, func(w io.Writer) error {
+			_, err := fmt.Fprintln(w, resolved)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	log.Printf("listening on http://%s (loading artifacts)", resolved)
+
 	g, orig, err := graph.LoadFile(graphPath)
 	if err != nil {
 		return err
@@ -158,30 +176,23 @@ func run(graphPath, indexPath, spherePath string, samples int, lt bool,
 		return err
 	}
 
-	resolved, err := srv.Start(addr)
-	if err != nil {
-		return err
-	}
-	if addrFile != "" {
-		if err := atomicfile.WriteFile(addrFile, func(w io.Writer) error {
-			_, err := fmt.Fprintln(w, resolved)
-			return err
-		}); err != nil {
-			return err
-		}
-	}
+	gate.Ready(srv.Handler())
 	log.Printf("serving on http://%s  graph=%016x index=%016x nodes=%d worlds=%d spheres=%v",
 		resolved, graphFP, srv.IndexFingerprint(), g.NumNodes(), x.NumWorlds(), spheres != nil)
 
-	// Block until SIGINT/SIGTERM, then drain: admitted requests finish
-	// (bounded by -drain-timeout), new ones are refused with 503.
+	// Block until SIGINT/SIGTERM, then drain: flip the server's drain flag
+	// (new requests get 503 + code "draining", /readyz goes not-ready), then
+	// wait for the admitted requests (bounded by -drain-timeout).
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	<-sigCtx.Done()
 	stop()
 	log.Printf("draining (timeout %s)", drain)
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	err = srv.Shutdown(ctx)
+	err = srv.Shutdown(ctx) // no listener of its own: flips the drain flag
+	if gerr := gate.Shutdown(ctx); err == nil {
+		err = gerr
+	}
 
 	if statsJSON != "" {
 		rep := tel.Report()

@@ -53,6 +53,8 @@ func main() {
 		outPath     = flag.String("out", "", "write results here instead of stdout")
 		storePath   = flag.String("store", "", "with -all: also persist the spheres to this file (see cmd/infmax -spheres)")
 		modes       = flag.Int("modes", 0, "with -node: also report up to this many cascade modes (die-out vs take-off)")
+		shards      = flag.Int("shards", 0, "partition the graph into this many shards and write per-shard serving artifacts (requires -shard-out)")
+		shardOut    = flag.String("shard-out", "", "path prefix for -shards artifacts: PREFIX-shardN.{tsv,idx,spheres} plus PREFIX-topology.json")
 		ckptPath    = flag.String("checkpoint", "", "checkpoint file prefix: long phases periodically save progress there and a rerun resumes it")
 		deadline    = flag.Duration("deadline", 0, "wall-clock budget; when it nears, sampling stops and a best-effort partial result is returned (notice on stderr)")
 		debugAddr   = flag.String("debug-addr", "", "serve Prometheus /metrics, expvar and pprof on this address while running (e.g. localhost:6060)")
@@ -70,7 +72,7 @@ func main() {
 	}
 	if err := run(ctx, *graphPath, *node, *all, *samples, *costSamples, *seed,
 		*algorithm, *indexPath, *buildIndex, !*noTransRed, *ltModel, *outPath, *storePath, *modes,
-		*ckptPath, *deadline, rt); err != nil {
+		*shards, *shardOut, *ckptPath, *deadline, rt); err != nil {
 		rt.Finish(err)
 	}
 	rt.Flush()
@@ -78,7 +80,7 @@ func main() {
 
 func run(ctx context.Context, graphPath string, node int, all bool, samples, costSamples int, seed uint64,
 	algorithm, indexPath, buildIndexPath string, transRed, lt bool, outPath, storePath string, modes int,
-	ckptPath string, deadline time.Duration, rt *cliutil.RunTelemetry) error {
+	shards int, shardOut string, ckptPath string, deadline time.Duration, rt *cliutil.RunTelemetry) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -87,6 +89,9 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 		return err
 	}
 	rt.GraphHash(g)
+	if shards > 0 {
+		return partitionShards(ctx, g, orig, shards, shardOut, samples, costSamples, seed, lt, rt)
+	}
 	tel := rt.Registry
 	tel.SetSeed(seed)
 	tel.SetParam("samples", fmt.Sprint(samples))

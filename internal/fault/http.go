@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// HTTPEnvVar gates the /debug/failpoints endpoint: a daemon mounts
+// Handler() only when this variable is non-empty, so a production binary
+// never exposes remote fault injection by accident. Setting it also unlocks
+// the registry (like SetActive), since the whole point of the endpoint is
+// arming failpoints over the wire from a chaos harness.
+const HTTPEnvVar = "SOI_FAILPOINTS_HTTP"
+
+// HTTPEnabled reports whether the env gate for the HTTP endpoint is set.
+func HTTPEnabled() bool { return os.Getenv(HTTPEnvVar) != "" }
+
+// SiteState describes one armed failpoint for the HTTP listing.
+type SiteState struct {
+	Kind  string `json:"kind"`
+	After int    `json:"after,omitempty"`
+	Times int    `json:"times,omitempty"`
+	Delay string `json:"delay,omitempty"`
+	Hits  int64  `json:"hits"`
+}
+
+func kindName(k Kind) string {
+	switch k {
+	case KindDelay:
+		return "delay"
+	case KindPanic:
+		return "panic"
+	case KindKill:
+		return "kill"
+	default:
+		return "error"
+	}
+}
+
+// List returns the armed sites and their trigger state.
+func List() map[string]SiteState {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]SiteState, len(sites))
+	for site, a := range sites {
+		st := SiteState{
+			Kind:  kindName(a.fp.Kind),
+			After: a.fp.After,
+			Times: a.fp.Times,
+			Hits:  a.hits.Load(),
+		}
+		if a.fp.Delay > 0 {
+			st.Delay = a.fp.Delay.String()
+		}
+		out[site] = st
+	}
+	return out
+}
+
+// Handler exposes the registry over HTTP for cross-process chaos harnesses:
+//
+//	GET    /debug/failpoints            list armed sites (JSON)
+//	POST   /debug/failpoints?spec=...   arm from an EnableFromSpec string
+//	                                    (or the spec as the request body)
+//	DELETE /debug/failpoints            disarm everything
+//
+// Mount it only behind the HTTPEnvVar gate; the handler itself unlocks the
+// registry on first use so a POSTed spec arms without further ceremony.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(List())
+		case http.MethodPost:
+			spec := req.URL.Query().Get("spec")
+			if spec == "" {
+				body, err := io.ReadAll(io.LimitReader(req.Body, 64<<10))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				spec = strings.TrimSpace(string(body))
+			}
+			if spec == "" {
+				http.Error(w, "missing failpoint spec (spec= param or request body)", http.StatusBadRequest)
+				return
+			}
+			active.Store(true)
+			if err := EnableFromSpec(spec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(List())
+		case http.MethodDelete:
+			Reset()
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}

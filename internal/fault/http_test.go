@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPHandlerArmListReset(t *testing.T) {
+	defer SetActive(false) // the POST below unlocks the registry
+
+	h := Handler()
+
+	// Arm via query param.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/failpoints?spec=server/compute=delay:delay=10ms:times=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("POST status %d: %s", rec.Code, rec.Body.String())
+	}
+	var listing map[string]SiteState
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := listing[ServerCompute]
+	if !ok || st.Kind != "delay" || st.Delay != "10ms" || st.Times != 2 {
+		t.Fatalf("armed listing %v, want server/compute delay 10ms times=2", listing)
+	}
+
+	// The failpoint actually fires.
+	if err := Hit(ServerCompute); err != nil {
+		t.Fatalf("delay failpoint returned %v, want nil", err)
+	}
+
+	// GET reflects hit counts.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/failpoints", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing[ServerCompute].Hits != 1 {
+		t.Fatalf("hits %d, want 1", listing[ServerCompute].Hits)
+	}
+
+	// Arm via body, bad spec => 400.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/failpoints", strings.NewReader("nonsense")))
+	if rec.Code != 400 {
+		t.Fatalf("bad spec status %d, want 400", rec.Code)
+	}
+
+	// DELETE disarms everything.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/debug/failpoints", nil))
+	if rec.Code != 204 {
+		t.Fatalf("DELETE status %d, want 204", rec.Code)
+	}
+	if len(List()) != 0 {
+		t.Fatalf("sites still armed after DELETE: %v", List())
+	}
+}

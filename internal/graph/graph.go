@@ -70,6 +70,14 @@ func (b *Builder) AddEdge(from, to NodeID, prob float64) {
 	b.edges = append(b.edges, Edge{From: from, To: to, Prob: prob})
 }
 
+// EnsureNode grows the graph to contain id even if no edge touches it.
+// Shard subgraphs use this for nodes whose every edge crosses the cut.
+func (b *Builder) EnsureNode(id NodeID) {
+	if int(id) >= b.n {
+		b.n = int(id) + 1
+	}
+}
+
 // AddMutualEdge records both (a,b) and (b,a) with the same probability.
 // The paper treats undirected benchmark graphs this way ("we just consider
 // the edges existing in both directions").

@@ -15,10 +15,13 @@ import (
 //
 //	<from> <tab-or-space> <to> <tab-or-space> <probability>
 //
-// Lines starting with '#' and blank lines are ignored. Node identifiers may
-// be arbitrary non-negative integers; they are remapped to a dense 0..N-1
-// space in first-appearance order, and the mapping is returned so callers
-// can report results in the original identifier space.
+// A line with a single field declares a node without edges — shard files
+// written by the partitioner use this so nodes whose every edge crosses the
+// cut still exist in the shard. Lines starting with '#' and blank lines are
+// ignored. Node identifiers may be arbitrary non-negative integers; they are
+// remapped to a dense 0..N-1 space in first-appearance order, and the
+// mapping is returned so callers can report results in the original
+// identifier space.
 
 // ReadTSV parses the edge-list format from r.
 // It returns the graph and the dense-ID -> original-ID mapping.
@@ -46,8 +49,16 @@ func ReadTSV(r io.Reader) (*Graph, []int64, error) {
 			continue
 		}
 		fields := strings.Fields(line)
+		if len(fields) == 1 {
+			id, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: bad node id: %v", lineNo, err)
+			}
+			b.EnsureNode(intern(id))
+			continue
+		}
 		if len(fields) != 3 {
-			return nil, nil, fmt.Errorf("graph: line %d: want 3 fields, got %d", lineNo, len(fields))
+			return nil, nil, fmt.Errorf("graph: line %d: want 1 or 3 fields, got %d", lineNo, len(fields))
 		}
 		from, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
@@ -87,10 +98,20 @@ func WriteTSV(w io.Writer, g *Graph, origIDs []int64) error {
 	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges()); err != nil {
 		return err
 	}
+	touched := make([]bool, g.NumNodes())
 	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
 		nbrs, probs := g.Neighbors(u)
 		for i, v := range nbrs {
+			touched[u], touched[v] = true, true
 			if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", name(u), name(v), probs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	// Declare nodes no edge touches so a round-trip preserves them.
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		if !touched[u] {
+			if _, err := fmt.Fprintf(bw, "%d\n", name(u)); err != nil {
 				return err
 			}
 		}

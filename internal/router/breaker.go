@@ -1,0 +1,124 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is allowed through; its outcome
+	// decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-replica circuit breaker. A replica that fails
+// MaxFailures times in a row stops receiving traffic for Cooldown; after
+// that a single probe is let through, and its outcome closes or re-opens
+// the circuit. This keeps a dead replica from absorbing every request's
+// first attempt (and its timeout) while still rediscovering recovery
+// quickly. Safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+
+	maxFailures int
+	cooldown    time.Duration
+	now         func() time.Time
+}
+
+// NewBreaker returns a closed breaker. maxFailures <= 0 selects 5,
+// cooldown <= 0 selects 1s. now is the clock; nil selects time.Now
+// (injectable so tests drive the state machine without sleeping).
+func NewBreaker(maxFailures int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if maxFailures <= 0 {
+		maxFailures = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{maxFailures: maxFailures, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may be sent. In the open state it returns
+// false until the cooldown elapses, then transitions to half-open and admits
+// exactly one probe (further Allow calls fail until that probe Reports).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report records the outcome of a request Allow admitted.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.fails = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if ok {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= b.maxFailures {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current position (open reports open even if the next
+// Allow would flip it to half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

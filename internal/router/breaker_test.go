@@ -1,0 +1,129 @@
+package router
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for driving the breaker state
+// machine without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, time.Second, clk.Now)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Report(false)
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, got)
+		}
+	}
+	b.Allow()
+	b.Report(false) // third consecutive failure
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after 3 failures state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := NewBreaker(3, time.Second, newFakeClock().Now)
+	b.Report(false)
+	b.Report(false)
+	b.Report(true) // resets the streak
+	b.Report(false)
+	b.Report(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (failures were not consecutive)", got)
+	}
+}
+
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Second, clk.Now)
+	b.Allow()
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	clk.Advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request halfway through the cooldown")
+	}
+	clk.Advance(600 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after the cooldown")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second request while the probe is in flight")
+	}
+	b.Report(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker refused a request")
+	}
+}
+
+func TestBreakerProbeFailureReopensAndRestartsCooldown(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Second, clk.Now)
+	b.Allow()
+	b.Report(false)
+
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The cooldown restarts from the failed probe, not the original trip.
+	clk.Advance(900 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted a request before the restarted cooldown elapsed")
+	}
+	clk.Advance(200 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the probe after the restarted cooldown")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0, nil)
+	if b.maxFailures != 5 || b.cooldown != time.Second {
+		t.Fatalf("defaults = (%d, %v), want (5, 1s)", b.maxFailures, b.cooldown)
+	}
+	if got := BreakerState(99).String(); got != "unknown" {
+		t.Fatalf("out-of-range state string = %q", got)
+	}
+}

@@ -1,0 +1,449 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soi/internal/server"
+	"soi/internal/telemetry"
+)
+
+// newTestRouter builds a router over testTopology with one replica group per
+// shard. Probing is off and hedging disabled unless the config overrides say
+// otherwise, so tests control every moving part.
+func newTestRouter(t *testing.T, mutate func(*Config), groups ...[]string) *Router {
+	t.Helper()
+	cfg := Config{
+		Topology:      testTopology(),
+		Replicas:      groups,
+		MaxRetries:    2,
+		RetryBase:     time.Millisecond,
+		HedgeDelay:    -1,
+		ProbeInterval: -1,
+		Telemetry:     telemetry.New(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestFetchShardRetriesRetryableEnvelope(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) <= 2 {
+			server.WriteError(w, http.StatusServiceUnavailable, server.CodeOverloaded, "queue full", time.Millisecond)
+			return
+		}
+		fmt.Fprint(w, `{"spread":1.5}`)
+	}))
+	defer ts.Close()
+	r := newTestRouter(t, nil, []string{ts.URL}, []string{ts.URL})
+
+	leg := r.fetchShard(context.Background(), 0, "/v1/spread?seeds=0")
+	if !leg.ok() {
+		t.Fatalf("leg failed after retries: status=%d err=%v", leg.Status, leg.Err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("backend saw %d calls, want 3 (initial + 2 retries)", got)
+	}
+	if got := r.mRetries.Value(); got != 2 {
+		t.Fatalf("retry counter = %d, want 2", got)
+	}
+}
+
+func TestFetchShardDoesNotRetryPermanentErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, "bad seeds", 0)
+	}))
+	defer ts.Close()
+	r := newTestRouter(t, nil, []string{ts.URL}, []string{ts.URL})
+
+	leg := r.fetchShard(context.Background(), 0, "/v1/spread?seeds=zzz")
+	if leg.Err != nil || leg.Status != http.StatusBadRequest {
+		t.Fatalf("leg = status %d err %v, want relayed 400", leg.Status, leg.Err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend saw %d calls, want 1 (permanent errors are not retried)", got)
+	}
+}
+
+func TestFetchShardExhaustsRetriesOnDeadBackend(t *testing.T) {
+	// A listener that is already closed: every attempt is a connection error.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	r := newTestRouter(t, nil, []string{deadURL}, []string{deadURL})
+
+	leg := r.fetchShard(context.Background(), 1, "/v1/spread?seeds=10")
+	if leg.Err == nil {
+		t.Fatalf("leg succeeded against a dead backend: %+v", leg)
+	}
+	if got := r.mShardErrs.Value(); got != 3 {
+		t.Fatalf("shard error counter = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestRetryFailsOverToSecondReplica(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError) // bare 5xx: retryable
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"spread":2}`)
+	}))
+	defer good.Close()
+	r := newTestRouter(t, nil, []string{bad.URL, good.URL}, []string{bad.URL})
+
+	leg := r.fetchShard(context.Background(), 0, "/v1/spread?seeds=0")
+	if !leg.ok() {
+		t.Fatalf("leg failed: status=%d err=%v (retry should rotate to the healthy replica)", leg.Status, leg.Err)
+	}
+	var body struct {
+		Spread float64 `json:"spread"`
+	}
+	if err := json.Unmarshal(leg.Body, &body); err != nil || body.Spread != 2 {
+		t.Fatalf("body %s from wrong replica", leg.Body)
+	}
+}
+
+func TestHedgeFiresOnStragglerAndAltWins(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		select {
+		case <-release:
+		case <-req.Context().Done():
+			return
+		}
+		fmt.Fprint(w, `{"spread":1}`)
+	}))
+	defer slow.Close()
+	defer close(release)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"spread":9}`)
+	}))
+	defer fast.Close()
+
+	r := newTestRouter(t, func(c *Config) { c.HedgeDelay = 5 * time.Millisecond },
+		[]string{slow.URL, fast.URL}, []string{slow.URL})
+
+	leg := r.fetchShard(context.Background(), 0, "/v1/spread?seeds=0")
+	if !leg.ok() {
+		t.Fatalf("leg failed: status=%d err=%v", leg.Status, leg.Err)
+	}
+	var body struct {
+		Spread float64 `json:"spread"`
+	}
+	if err := json.Unmarshal(leg.Body, &body); err != nil || body.Spread != 9 {
+		t.Fatalf("body %s, want the hedge leg's answer", leg.Body)
+	}
+	if r.mHedges.Value() != 1 || r.mHedgeWins.Value() != 1 {
+		t.Fatalf("hedges=%d hedge_wins=%d, want 1/1", r.mHedges.Value(), r.mHedgeWins.Value())
+	}
+}
+
+func TestBreakerShortCircuitsRepeatedFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	r := newTestRouter(t, func(c *Config) {
+		c.BreakerFailures = 3
+		c.BreakerCooldown = time.Hour
+	}, []string{ts.URL}, []string{ts.URL})
+
+	r.fetchShard(context.Background(), 0, "/v1/spread?seeds=0") // 3 attempts trip the breaker
+	if got := r.shards[0][0].breaker.State(); got != BreakerOpen {
+		t.Fatalf("breaker state = %v after repeated failures, want open", got)
+	}
+	before := calls.Load()
+	leg := r.fetchShard(context.Background(), 0, "/v1/spread?seeds=0")
+	if leg.Err == nil {
+		t.Fatalf("open breaker produced a success: %+v", leg)
+	}
+	if calls.Load() != before {
+		t.Fatal("open breaker still sent traffic to the backend")
+	}
+}
+
+// TestSubQueryShrinksBudget: the shard leg's budget is the client budget
+// minus the merge grace, floored at half the client budget.
+func TestSubQueryShrinksBudget(t *testing.T) {
+	var captured atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		captured.Store(req.URL.Query().Get("budget"))
+		fmt.Fprint(w, `{"spread":1,"method":"index"}`)
+	}))
+	defer ts.Close()
+	r := newTestRouter(t, func(c *Config) { c.MergeGrace = 300 * time.Millisecond },
+		[]string{ts.URL}, []string{ts.URL})
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/spread?seeds=0&budget=1s", nil))
+	if rec.Code != http.StatusOK && rec.Code != http.StatusPartialContent {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := captured.Load(); got != "700ms" {
+		t.Fatalf("shard saw budget %v, want 700ms (1s - 300ms grace)", got)
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/spread?seeds=0&budget=400ms", nil))
+	if got := captured.Load(); got != "200ms" {
+		t.Fatalf("shard saw budget %v, want 200ms (floored at budget/2)", got)
+	}
+}
+
+func TestGatewayRequestValidation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	r := newTestRouter(t, nil, []string{ts.URL}, []string{ts.URL})
+
+	cases := []struct {
+		url        string
+		wantStatus int
+		wantCode   string
+	}{
+		{"/v1/spread?seeds=99", http.StatusNotFound, server.CodeNotFound},   // unknown node
+		{"/v1/spread?seeds=", http.StatusBadRequest, server.CodeBadRequest}, // missing seeds
+		{"/v1/spread?seeds=0&budget=bogus", http.StatusBadRequest, server.CodeBadRequest},
+		{"/v1/seeds", http.StatusBadRequest, server.CodeBadRequest},      // missing k
+		{"/v1/seeds?k=0", http.StatusBadRequest, server.CodeBadRequest},  // k out of range
+		{"/v1/seeds?k=99", http.StatusBadRequest, server.CodeBadRequest}, // k > NumNodes
+		{"/v1/sphere/abc", http.StatusBadRequest, server.CodeBadRequest},
+		{"/v1/sphere/55", http.StatusNotFound, server.CodeNotFound},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", tc.url, nil))
+		if rec.Code != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", tc.url, rec.Code, tc.wantStatus, rec.Body.String())
+			continue
+		}
+		var env server.ErrorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != tc.wantCode {
+			t.Errorf("%s: envelope %s, want code %q", tc.url, rec.Body.String(), tc.wantCode)
+		}
+	}
+}
+
+func TestGatewayDrainingRefusesNewRequests(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	r := newTestRouter(t, nil, []string{ts.URL}, []string{ts.URL})
+	r.draining.Store(true)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/spread?seeds=0", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 while draining", rec.Code)
+	}
+	var env server.ErrorEnvelope
+	if json.Unmarshal(rec.Body.Bytes(), &env) != nil || env.Error.Code != server.CodeDraining {
+		t.Fatalf("envelope %s, want code draining", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.handleReadyz(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status %d while draining, want 503", rec.Code)
+	}
+}
+
+// --- merge math -----------------------------------------------------------
+
+func okLeg(shard int, v any) shardReply {
+	b, _ := json.Marshal(v)
+	return shardReply{Shard: shard, Status: http.StatusOK, Body: b}
+}
+
+func deadLeg(shard int) shardReply {
+	return shardReply{Shard: shard, Err: fmt.Errorf("connection refused")}
+}
+
+func TestMergeSpreadDeadShardWidensBound(t *testing.T) {
+	r := newTestRouter(t, nil, []string{"http://unused"}, []string{"http://unused"})
+	seedsByShard := map[int][]int64{0: {0}, 1: {10, 11}}
+	legs := []shardReply{
+		okLeg(0, shardSpread{Spread: 2.5}),
+		deadLeg(1),
+	}
+	resp, err := r.mergeSpread(legs, seedsByShard, []int64{0, 10, 11}, "index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dead shard 1: its 2 seeds are active (lower bound), its third node is
+	// unknown. Cut accounting from testTopology adds CutBound 0.75.
+	if want := 2.5 + 2; resp.Spread != want {
+		t.Errorf("spread = %v, want %v", resp.Spread, want)
+	}
+	if want := 1 + 0.75; resp.ErrorBound != want {
+		t.Errorf("error bound = %v, want %v", resp.ErrorBound, want)
+	}
+	if !resp.Partial || resp.ShardsOK != 1 || resp.ShardsTotal != 2 ||
+		len(resp.FailedShards) != 1 || resp.FailedShards[0] != 1 {
+		t.Errorf("degrade info wrong: %+v", resp.degradeInfo)
+	}
+}
+
+func TestMergeSeedsKWayMergeIsGainOrdered(t *testing.T) {
+	r := newTestRouter(t, nil, []string{"http://unused"}, []string{"http://unused"})
+	legs := []shardReply{
+		okLeg(0, shardSeeds{Seeds: []int64{2, 0}, Gains: []float64{3, 1}, Objective: 4, LazyEvaluations: 5}),
+		okLeg(1, shardSeeds{Seeds: []int64{11, 12}, Gains: []float64{2.5, 2}, Objective: 4.5, LazyEvaluations: 7}),
+	}
+	resp, err := r.mergeSeeds(legs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{2, 11, 12}; len(resp.Seeds) != 3 ||
+		resp.Seeds[0] != want[0] || resp.Seeds[1] != want[1] || resp.Seeds[2] != want[2] {
+		t.Errorf("merged seeds = %v, want %v", resp.Seeds, want)
+	}
+	if resp.Objective != 7.5 || resp.LazyEvaluations != 12 {
+		t.Errorf("objective=%v lazy=%d, want 7.5/12", resp.Objective, resp.LazyEvaluations)
+	}
+	if resp.Coverage != 7.5/6 {
+		t.Errorf("coverage = %v", resp.Coverage)
+	}
+}
+
+func TestMergeSeedsDeadShardAndShortfall(t *testing.T) {
+	r := newTestRouter(t, nil, []string{"http://unused"}, []string{"http://unused"})
+	legs := []shardReply{
+		okLeg(0, shardSeeds{Seeds: []int64{2}, Gains: []float64{3}, Objective: 3}),
+		deadLeg(1),
+	}
+	resp, err := r.mergeSeeds(legs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Seeds) != 1 || !resp.Partial {
+		t.Errorf("want partial single-seed answer, got %+v", resp)
+	}
+	// Dead shard could have covered all 3 of its nodes; cut adds 0.75.
+	if want := 3 + 0.75; resp.ErrorBound != want {
+		t.Errorf("error bound = %v, want %v", resp.ErrorBound, want)
+	}
+}
+
+func TestMergeReliabilityUnionAndBounds(t *testing.T) {
+	r := newTestRouter(t, nil, []string{"http://unused"}, []string{"http://unused"})
+	legs := []shardReply{
+		okLeg(0, shardReliability{Nodes: []int64{2, 0}, Samples: 900,
+			shardPartial: shardPartial{ErrorBound: 0.02}}),
+		okLeg(1, shardReliability{Nodes: []int64{11}, Samples: 1000,
+			shardPartial: shardPartial{ErrorBound: 0.05, Partial: true}}),
+	}
+	resp, err := r.mergeReliability(legs, []int64{0, 10}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{0, 2, 11}; len(resp.Nodes) != 3 || resp.Nodes[0] != 0 || resp.Nodes[2] != 11 {
+		t.Errorf("nodes = %v, want %v", resp.Nodes, want)
+	}
+	if resp.Samples != 900 || resp.Count != 3 {
+		t.Errorf("samples=%d count=%d", resp.Samples, resp.Count)
+	}
+	// max shard bound + CutProb.
+	if want := 0.05 + 0.25; resp.ErrorBound != want {
+		t.Errorf("error bound = %v, want %v", resp.ErrorBound, want)
+	}
+	if !resp.Partial {
+		t.Error("bound-widened answer not flagged partial")
+	}
+}
+
+func TestMergeStabilityWeightsAndDeadSeeds(t *testing.T) {
+	r := newTestRouter(t, nil, []string{"http://unused"}, []string{"http://unused"})
+	seedsByShard := map[int][]int64{0: {0}, 1: {10}}
+	legs := []shardReply{
+		okLeg(0, shardStability{Set: []int64{0, 1, 2}, SampleCost: 0.3, Stability: 0.7, Samples: 200}),
+		okLeg(1, shardStability{Set: []int64{10}, SampleCost: 0.1, Stability: 0.9, Samples: 300}),
+	}
+	resp, err := r.mergeStability(legs, seedsByShard, []int64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Approximation != "size_weighted_union" {
+		t.Errorf("approximation = %q", resp.Approximation)
+	}
+	wantStab := (3*0.7 + 1*0.9) / 4
+	if diff := resp.Stability - wantStab; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("stability = %v, want size-weighted %v", resp.Stability, wantStab)
+	}
+	if resp.Size != 4 || resp.Samples != 200 {
+		t.Errorf("size=%d samples=%d", resp.Size, resp.Samples)
+	}
+
+	// One dead shard: its seed fraction widens the Jaccard-scale bound.
+	legs[1] = deadLeg(1)
+	resp, err = r.mergeStability(legs, seedsByShard, []int64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.25 + 0.5; resp.ErrorBound != want { // CutProb + deadSeeds/totalSeeds
+		t.Errorf("error bound = %v, want %v", resp.ErrorBound, want)
+	}
+	if resp.MissingNodes != 3 || !resp.Partial {
+		t.Errorf("degrade info wrong: %+v", resp.degradeInfo)
+	}
+}
+
+func TestMergeMalformedOKLegIsAHardError(t *testing.T) {
+	r := newTestRouter(t, nil, []string{"http://unused"}, []string{"http://unused"})
+	legs := []shardReply{
+		{Shard: 0, Status: http.StatusOK, Body: []byte("not json")},
+		okLeg(1, shardSpread{Spread: 1}),
+	}
+	if _, err := r.mergeSpread(legs, map[int][]int64{}, nil, "index"); err == nil {
+		t.Fatal("malformed 200 body merged silently; want a hard error")
+	}
+}
+
+func TestParseReplicaWiringValidation(t *testing.T) {
+	if _, err := New(Config{Topology: testTopology(), Replicas: [][]string{{"http://a"}}}); err == nil {
+		t.Fatal("New accepted 1 replica group for 2 shards")
+	}
+	if _, err := New(Config{Topology: testTopology(), Replicas: [][]string{{"http://a"}, {}}}); err == nil {
+		t.Fatal("New accepted an empty replica group")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a nil topology")
+	}
+}
+
+// TestSubQueryIsDeterministic: identical requests produce identical shard
+// queries (sorted parameters), keeping shard-side caches effective.
+func TestSubQueryIsDeterministic(t *testing.T) {
+	r := newTestRouter(t, nil, []string{"http://unused"}, []string{"http://unused"})
+	req := httptest.NewRequest("GET", "/v1/spread?seeds=0&method=mc&trials=50", nil)
+	req = req.WithContext(withBudget(req.Context(), time.Second))
+	q1 := r.subQuery(req, map[string]string{"seeds": "0"})
+	q2 := r.subQuery(req, map[string]string{"seeds": "0"})
+	if q1 != q2 {
+		t.Fatalf("subQuery not deterministic: %q vs %q", q1, q2)
+	}
+	vals, err := url.ParseQuery(q1[1:])
+	if err != nil || vals.Get("budget") != "700ms" || vals.Get("trials") != "50" {
+		t.Fatalf("subQuery %q lost parameters", q1)
+	}
+}

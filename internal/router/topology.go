@@ -1,0 +1,142 @@
+// Package router implements the scatter-gather core of cmd/soigw: a
+// fault-tolerant HTTP gateway that fronts a fleet of soid shard servers,
+// fans queries out to the shards that own the relevant nodes, and merges
+// the answers with explicit error-bound accounting.
+//
+// Robustness machinery lives here too: per-shard retries with exponential
+// backoff and full jitter (idempotent GETs only), hedged requests once a
+// replica's latency histogram says a straggler is unlikely to answer,
+// per-shard circuit breakers, deadline propagation from the client budget
+// to per-shard sub-deadlines, and active health probing against /readyz.
+// When shards are lost mid-query the gateway degrades instead of failing:
+// it answers HTTP 206 with shards_ok/shards_total and an error bound
+// widened to cover everything the dead shards could have contributed.
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"soi/internal/atomicfile"
+)
+
+// TopologyFormat identifies the manifest schema.
+const TopologyFormat = "soi.topology/v1"
+
+// ShardManifest describes one shard of a partitioned deployment: the
+// artifacts a soid process serving the shard must load, and the nodes it
+// owns. File paths are relative to the manifest's directory.
+type ShardManifest struct {
+	ID         int    `json:"id"`
+	GraphFile  string `json:"graph"`
+	IndexFile  string `json:"index"`
+	SphereFile string `json:"spheres,omitempty"`
+	// GraphFingerprint is soi.Fingerprint of the shard subgraph (%016x),
+	// the value the shard's /readyz reports. The gateway compares them so a
+	// replica serving the wrong shard is never routed to.
+	GraphFingerprint string `json:"graph_fingerprint"`
+	IndexFingerprint string `json:"index_fingerprint,omitempty"`
+	NumNodes         int    `json:"num_nodes"`
+	NumEdges         int    `json:"num_edges"`
+	// Nodes are the original (pre-densification) ids the shard owns, in the
+	// shard's own dense order: the shard's dense id of Nodes[i] is i.
+	Nodes []int64 `json:"nodes"`
+}
+
+// Topology is the soi.topology/v1 manifest written by `sphere -shards` and
+// consumed by soigw.
+type Topology struct {
+	Format string `json:"format"`
+	// GraphFingerprint is soi.Fingerprint of the full, unpartitioned graph.
+	GraphFingerprint string          `json:"graph_fingerprint"`
+	NumNodes         int             `json:"num_nodes"`
+	Shards           []ShardManifest `json:"shards"`
+	// CutEdges/CutBound/CutProb account the edges dropped at shard
+	// boundaries; see scc.Partitioning. The gateway adds CutBound to merged
+	// spread bounds and CutProb to merged [0,1]-scale bounds so a non-clean
+	// partition widens answers instead of silently biasing them.
+	CutEdges int     `json:"cut_edges"`
+	CutBound float64 `json:"cut_bound"`
+	CutProb  float64 `json:"cut_prob"`
+}
+
+// Validate checks structural invariants: format tag, dense shard ids, and
+// disjoint node ownership covering NumNodes nodes.
+func (t *Topology) Validate() error {
+	if t.Format != TopologyFormat {
+		return fmt.Errorf("router: manifest format %q, want %q", t.Format, TopologyFormat)
+	}
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("router: manifest has no shards")
+	}
+	owned := make(map[int64]int)
+	total := 0
+	for i, s := range t.Shards {
+		if s.ID != i {
+			return fmt.Errorf("router: shard at position %d has id %d, want dense ids", i, s.ID)
+		}
+		if len(s.Nodes) != s.NumNodes {
+			return fmt.Errorf("router: shard %d lists %d nodes but declares num_nodes=%d", i, len(s.Nodes), s.NumNodes)
+		}
+		for _, v := range s.Nodes {
+			if prev, dup := owned[v]; dup {
+				return fmt.Errorf("router: node %d owned by both shard %d and shard %d", v, prev, i)
+			}
+			owned[v] = i
+		}
+		total += len(s.Nodes)
+	}
+	if total != t.NumNodes {
+		return fmt.Errorf("router: shards own %d nodes, manifest declares %d", total, t.NumNodes)
+	}
+	return nil
+}
+
+// OwnerMap returns original-node-id -> owning shard.
+func (t *Topology) OwnerMap() map[int64]int {
+	m := make(map[int64]int, t.NumNodes)
+	for _, s := range t.Shards {
+		for _, v := range s.Nodes {
+			m[v] = s.ID
+		}
+	}
+	return m
+}
+
+// AllNodes returns every original node id in the topology, sorted.
+func (t *Topology) AllNodes() []int64 {
+	out := make([]int64, 0, t.NumNodes)
+	for _, s := range t.Shards {
+		out = append(out, s.Nodes...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// SaveTopology writes the manifest atomically.
+func SaveTopology(path string, t *Topology) error {
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(t)
+	})
+}
+
+// LoadTopology reads and validates a manifest.
+func LoadTopology(path string) (*Topology, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Topology
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("router: parsing %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("router: %s: %w", path, err)
+	}
+	return &t, nil
+}

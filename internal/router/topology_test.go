@@ -1,0 +1,76 @@
+package router
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testTopology() *Topology {
+	return &Topology{
+		Format:           TopologyFormat,
+		GraphFingerprint: "00000000deadbeef",
+		NumNodes:         6,
+		Shards: []ShardManifest{
+			{ID: 0, GraphFile: "g-shard0.tsv", IndexFile: "g-shard0.idx",
+				NumNodes: 3, Nodes: []int64{0, 1, 2}},
+			{ID: 1, GraphFile: "g-shard1.tsv", IndexFile: "g-shard1.idx",
+				NumNodes: 3, Nodes: []int64{10, 11, 12}},
+		},
+		CutEdges: 1, CutBound: 0.75, CutProb: 0.25,
+	}
+}
+
+func TestTopologySaveLoadRoundTrip(t *testing.T) {
+	want := testTopology()
+	path := filepath.Join(t.TempDir(), "topology.json")
+	if err := SaveTopology(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GraphFingerprint != want.GraphFingerprint || got.NumNodes != want.NumNodes ||
+		len(got.Shards) != len(want.Shards) || got.CutBound != want.CutBound {
+		t.Fatalf("round trip mismatch: got %+v", got)
+	}
+	owner := got.OwnerMap()
+	if owner[11] != 1 || owner[2] != 0 {
+		t.Fatalf("owner map wrong: %v", owner)
+	}
+	all := got.AllNodes()
+	if len(all) != 6 || all[0] != 0 || all[5] != 12 {
+		t.Fatalf("AllNodes = %v", all)
+	}
+}
+
+func TestTopologyValidateRejectsBadManifests(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Topology)
+		wantSub string
+	}{
+		{"wrong format", func(tp *Topology) { tp.Format = "soi.topology/v0" }, "format"},
+		{"no shards", func(tp *Topology) { tp.Shards = nil }, "no shards"},
+		{"non-dense ids", func(tp *Topology) { tp.Shards[1].ID = 7 }, "dense ids"},
+		{"node count mismatch", func(tp *Topology) { tp.Shards[0].NumNodes = 2 }, "num_nodes"},
+		{"duplicate ownership", func(tp *Topology) { tp.Shards[1].Nodes[0] = 2 }, "owned by both"},
+		{"total mismatch", func(tp *Topology) { tp.NumNodes = 7 }, "declares"},
+	}
+	for _, tc := range cases {
+		tp := testTopology()
+		tc.mutate(tp)
+		err := tp.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestLoadTopologyRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if _, err := LoadTopology(path); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}

@@ -1,0 +1,222 @@
+package scc
+
+import (
+	"fmt"
+	"sort"
+
+	"soi/internal/graph"
+	"soi/internal/jaccard"
+)
+
+// Node partitioning for sharded serving (cmd/soigw): split the graph into k
+// balanced node sets so one soid process can own each induced subgraph.
+//
+// The partitioner is SCC-aware — a strongly connected component is never
+// split, because every node in it shares its reachability — and
+// similarity-driven: components are clustered by the Jaccard similarity of
+// their condensation neighborhoods (k-medoids, the same machinery the paper
+// uses on cascades), so components that exchange many edges land in the same
+// shard and the cut stays small. Clusters are then flattened in topological
+// order and chunked into k weight-balanced shards.
+//
+// Whatever edges do cross the cut are accounted, not ignored: CutBound and
+// CutProb are conservative widenings a scatter-gather router adds to its
+// merged error bounds, so a non-clean partition degrades answers' precision
+// explicitly instead of silently.
+
+// Partitioning is a k-way node partition of a graph.
+type Partitioning struct {
+	// K is the number of shards.
+	K int
+	// Assign maps every node to its shard in [0, K).
+	Assign []int32
+	// Shards lists each shard's member nodes, sorted ascending.
+	Shards [][]graph.NodeID
+	// CutEdges are the edges whose endpoints land in different shards,
+	// ordered by (From, To).
+	CutEdges []graph.Edge
+	// CutBound is Σ over cut edges of p(e) · |shard(head)|: by a union bound
+	// over cut edges, the expected number of activations a shard-local
+	// cascade simulation misses is at most this many nodes (each cut edge
+	// fires with probability p(e) and can activate at most the head's whole
+	// shard). Zero for a clean partition.
+	CutBound float64
+	// CutProb is min(1, Σ p(e)) over cut edges: a union bound on the
+	// probability that any cross-shard activation exists at all, the
+	// widening for [0,1]-valued estimates (stability, reliability). Zero for
+	// a clean partition.
+	CutProb float64
+}
+
+// graphView adapts *graph.Graph (all edges present, probabilities ignored)
+// to the Subgraph interface.
+type graphView struct{ g *graph.Graph }
+
+func (v graphView) NumNodes() int { return v.g.NumNodes() }
+
+func (v graphView) VisitSuccessors(u int32, f func(v int32)) {
+	nbrs, _ := v.g.Neighbors(u)
+	for _, w := range nbrs {
+		f(w)
+	}
+}
+
+// Partition splits g into k shards. It is deterministic: the same graph and
+// k always produce the same partition. k must be in [1, NumNodes].
+func Partition(g *graph.Graph, k int) (*Partitioning, error) {
+	n := g.NumNodes()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("scc: shard count %d outside [1, %d]", k, n)
+	}
+
+	d := Tarjan(graphView{g})
+	dag := Condense(graphView{g}, d)
+
+	// Neighborhood signature of each component: itself plus its condensation
+	// successors and predecessors, as a sorted jaccard.Set. Components that
+	// share much of their neighborhood exchange many edges — exactly the
+	// pairs a small cut wants co-located.
+	sigs := make([]jaccard.Set, d.NumComps)
+	{
+		seen := make([]int32, d.NumComps)
+		for i := range seen {
+			seen[i] = -1
+		}
+		add := func(sig jaccard.Set, c, self int32, seen []int32) jaccard.Set {
+			if seen[c] == self {
+				return sig
+			}
+			seen[c] = self
+			return append(sig, c)
+		}
+		// Predecessor lists from the successor DAG.
+		preds := make([][]int32, d.NumComps)
+		for c := int32(0); int(c) < d.NumComps; c++ {
+			for _, w := range dag[c] {
+				preds[w] = append(preds[w], c)
+			}
+		}
+		for c := int32(0); int(c) < d.NumComps; c++ {
+			sig := add(nil, c, c, seen)
+			for _, w := range dag[c] {
+				sig = add(sig, w, c, seen)
+			}
+			for _, w := range preds[c] {
+				sig = add(sig, w, c, seen)
+			}
+			sort.Slice(sig, func(a, b int) bool { return sig[a] < sig[b] })
+			sigs[c] = sig
+		}
+	}
+
+	// Cluster the signatures (k-medoids under Jaccard distance,
+	// deterministic). More clusters than shards gives the packer freedom to
+	// balance; the flatten order keeps cluster members adjacent.
+	kc := 4 * k
+	if kc > d.NumComps {
+		kc = d.NumComps
+	}
+	clusters := jaccard.ClusterCascades(sigs, kc, 0)
+
+	// Flatten: clusters in topological order of their earliest member
+	// (Tarjan numbers components in reverse topological order, so larger id
+	// = earlier), members within a cluster likewise.
+	type clusterOrder struct {
+		members []int32 // component ids, descending (= topo order)
+		weight  int     // node count
+	}
+	ordered := make([]clusterOrder, 0, len(clusters))
+	for _, cl := range clusters {
+		co := clusterOrder{members: make([]int32, 0, len(cl.Members))}
+		for _, m := range cl.Members {
+			co.members = append(co.members, int32(m))
+			co.weight += d.Size(int32(m))
+		}
+		sort.Slice(co.members, func(a, b int) bool { return co.members[a] > co.members[b] })
+		ordered = append(ordered, co)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		return ordered[a].members[0] > ordered[b].members[0]
+	})
+	flat := make([]int32, 0, d.NumComps)
+	for _, co := range ordered {
+		flat = append(flat, co.members...)
+	}
+
+	// Chunk the flattened component list into k contiguous, weight-balanced
+	// shards. Greedy: close a chunk once it reaches the remaining average,
+	// and never leave fewer components than open chunks.
+	p := &Partitioning{K: k, Assign: make([]int32, n), Shards: make([][]graph.NodeID, k)}
+	remaining := n
+	shard := int32(0)
+	weight := 0
+	for i, c := range flat {
+		if int(shard) < k-1 {
+			compsLeft := len(flat) - i
+			chunksLeft := k - int(shard)
+			target := (remaining + chunksLeft - 1) / chunksLeft
+			if (weight >= target && compsLeft > chunksLeft-1) || compsLeft == chunksLeft-1 {
+				shard++
+				weight = 0
+			}
+		}
+		sz := d.Size(c)
+		weight += sz
+		remaining -= sz
+		for _, v := range d.Members(c) {
+			p.Assign[v] = shard
+		}
+	}
+
+	for v := int32(0); int(v) < n; v++ {
+		s := p.Assign[v]
+		p.Shards[s] = append(p.Shards[s], v)
+	}
+
+	// Cut accounting.
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		nbrs, probs := g.Neighbors(u)
+		for i, v := range nbrs {
+			if p.Assign[u] != p.Assign[v] {
+				p.CutEdges = append(p.CutEdges, graph.Edge{From: u, To: v, Prob: probs[i]})
+				p.CutBound += probs[i] * float64(len(p.Shards[p.Assign[v]]))
+				p.CutProb += probs[i]
+			}
+		}
+	}
+	if p.CutProb > 1 {
+		p.CutProb = 1
+	}
+	return p, nil
+}
+
+// Subgraph returns the induced subgraph of one shard plus the mapping from
+// the subgraph's dense ids back to the full graph's dense ids (sorted
+// ascending, matching Shards[shard]). Edges crossing the cut are dropped —
+// their effect is what CutBound/CutProb account for.
+func (p *Partitioning) Subgraph(g *graph.Graph, shard int) (*graph.Graph, []graph.NodeID, error) {
+	if shard < 0 || shard >= p.K {
+		return nil, nil, fmt.Errorf("scc: shard %d outside [0, %d)", shard, p.K)
+	}
+	members := p.Shards[shard]
+	local := make(map[graph.NodeID]graph.NodeID, len(members))
+	for i, v := range members {
+		local[v] = graph.NodeID(i)
+	}
+	b := graph.NewBuilder(len(members))
+	for i, v := range members {
+		nbrs, probs := g.Neighbors(v)
+		for j, w := range nbrs {
+			if lw, ok := local[w]; ok {
+				b.AddEdge(graph.NodeID(i), lw, probs[j])
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	back := make([]graph.NodeID, len(members))
+	copy(back, members)
+	return sub, back, nil
+}

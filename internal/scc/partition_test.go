@@ -1,0 +1,174 @@
+package scc
+
+import (
+	"testing"
+
+	"soi/internal/graph"
+)
+
+// twoClusters builds two internally dense, mutually disconnected communities
+// of the given sizes. A 2-way partition must recover them exactly.
+func twoClusters(t *testing.T, a, b int) *graph.Graph {
+	t.Helper()
+	bld := graph.NewBuilder(a + b)
+	ring := func(off, n int) {
+		for i := 0; i < n; i++ {
+			bld.AddEdge(graph.NodeID(off+i), graph.NodeID(off+(i+1)%n), 0.5)
+		}
+		for i := 0; i < n; i++ { // chords for density
+			bld.AddEdge(graph.NodeID(off+i), graph.NodeID(off+(i+2)%n), 0.3)
+		}
+	}
+	ring(0, a)
+	ring(a, b)
+	return bld.MustBuild()
+}
+
+func TestPartitionDisconnectedClustersCleanSplit(t *testing.T) {
+	g := twoClusters(t, 5, 5)
+	p, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CutEdges) != 0 || p.CutBound != 0 || p.CutProb != 0 {
+		t.Fatalf("disconnected communities should split cleanly, got %d cut edges (bound %.3f, prob %.3f)",
+			len(p.CutEdges), p.CutBound, p.CutProb)
+	}
+	if len(p.Shards[0]) != 5 || len(p.Shards[1]) != 5 {
+		t.Fatalf("shard sizes %d/%d, want 5/5", len(p.Shards[0]), len(p.Shards[1]))
+	}
+	// Each community must be entirely within one shard.
+	for v := graph.NodeID(1); v < 5; v++ {
+		if p.Assign[v] != p.Assign[0] {
+			t.Fatalf("community A split: node %d in shard %d, node 0 in shard %d", v, p.Assign[v], p.Assign[0])
+		}
+	}
+	for v := graph.NodeID(6); v < 10; v++ {
+		if p.Assign[v] != p.Assign[5] {
+			t.Fatalf("community B split: node %d in shard %d, node 5 in shard %d", v, p.Assign[v], p.Assign[5])
+		}
+	}
+}
+
+func TestPartitionNeverSplitsSCC(t *testing.T) {
+	// One 6-cycle (a single SCC) plus 6 isolated nodes: even at k=4 the
+	// cycle must stay whole.
+	bld := graph.NewBuilder(12)
+	for i := 0; i < 6; i++ {
+		bld.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%6), 0.5)
+	}
+	g := bld.MustBuild()
+	p, err := Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(1); v < 6; v++ {
+		if p.Assign[v] != p.Assign[0] {
+			t.Fatalf("SCC split across shards: node %d in %d, node 0 in %d", v, p.Assign[v], p.Assign[0])
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if len(p.Shards[s]) == 0 {
+			t.Fatalf("shard %d empty: %v", s, p.Shards)
+		}
+	}
+}
+
+func TestPartitionCutAccounting(t *testing.T) {
+	// Two communities joined by one 0.25-probability bridge: the cut must
+	// contain exactly that bridge, with bound 0.25·|target shard|.
+	bld := graph.NewBuilder(10)
+	ring := func(off int) {
+		for i := 0; i < 5; i++ {
+			bld.AddEdge(graph.NodeID(off+i), graph.NodeID(off+(i+1)%5), 0.5)
+		}
+	}
+	ring(0)
+	ring(5)
+	bld.AddEdge(2, 7, 0.25)
+	g := bld.MustBuild()
+	p, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CutEdges) != 1 {
+		t.Fatalf("cut edges %v, want exactly the bridge 2->7", p.CutEdges)
+	}
+	e := p.CutEdges[0]
+	if e.From != 2 || e.To != 7 || e.Prob != 0.25 {
+		t.Fatalf("cut edge %+v, want {2 7 0.25}", e)
+	}
+	wantBound := 0.25 * float64(len(p.Shards[p.Assign[7]]))
+	if p.CutBound != wantBound {
+		t.Fatalf("CutBound %.3f, want %.3f", p.CutBound, wantBound)
+	}
+	if p.CutProb != 0.25 {
+		t.Fatalf("CutProb %.3f, want 0.25", p.CutProb)
+	}
+}
+
+func TestPartitionSubgraphRoundTrip(t *testing.T) {
+	g := twoClusters(t, 5, 7)
+	p, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := 0; s < 2; s++ {
+		sub, back, err := p.Subgraph(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.NumNodes() != len(p.Shards[s]) || len(back) != len(p.Shards[s]) {
+			t.Fatalf("shard %d: %d sub nodes / %d mapping, want %d", s, sub.NumNodes(), len(back), len(p.Shards[s]))
+		}
+		total += sub.NumEdges()
+		// Every subgraph edge must correspond to a full-graph edge with the
+		// same probability.
+		for u := graph.NodeID(0); int(u) < sub.NumNodes(); u++ {
+			nbrs, probs := sub.Neighbors(u)
+			for i, v := range nbrs {
+				if got := g.Prob(back[u], back[v]); got != probs[i] {
+					t.Fatalf("edge %d->%d prob %.3f, full graph has %.3f", back[u], back[v], probs[i], got)
+				}
+			}
+		}
+	}
+	if total+len(p.CutEdges) != g.NumEdges() {
+		t.Fatalf("edges: %d in subgraphs + %d cut != %d total", total, len(p.CutEdges), g.NumEdges())
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := twoClusters(t, 9, 6)
+	p1, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range p1.Assign {
+		if p1.Assign[v] != p2.Assign[v] {
+			t.Fatalf("nondeterministic assignment at node %d: %d vs %d", v, p1.Assign[v], p2.Assign[v])
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := twoClusters(t, 3, 3)
+	if _, err := Partition(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Partition(g, 7); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	p, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Subgraph(g, 2); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}

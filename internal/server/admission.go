@@ -34,7 +34,15 @@ func newAdmission(maxInflight, maxQueue int, tel *telemetry.Registry) *admission
 // acquire obtains a compute slot, queueing if allowed. It returns
 // errOverload when the queue is full and ctx.Err() when the caller's budget
 // expires while queued. Every nil return must be paired with release().
+//
+// Cancellation accounting: a waiter whose ctx dies releases its queue slot
+// and decrements the queue-depth gauge itself (the deferred block), and a
+// waiter that wins a compute slot in the same instant its ctx fires gives
+// the slot straight back — a dead client must never occupy compute.
 func (a *admission) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case a.slots <- struct{}{}:
 		a.inflight.Add(1)
@@ -54,6 +62,13 @@ func (a *admission) acquire(ctx context.Context) error {
 	select {
 	case a.slots <- struct{}{}:
 		a.inflight.Add(1)
+		if err := ctx.Err(); err != nil {
+			// The select raced a cancellation and picked the slot send; the
+			// request is already dead, so undo the acquisition rather than
+			// charging a compute slot to a client that left.
+			a.release()
+			return err
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"soi/internal/telemetry"
+)
+
+// TestAdmissionCancelWhileQueued is the regression test for queue-slot
+// accounting on cancellation: waiters whose contexts die while queued must
+// decrement the queue-depth gauge, free their queue slots, and leave no
+// goroutines behind; compute slots must remain fully usable afterwards.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	tel := telemetry.New()
+	a := newAdmission(1, 4, tel)
+	queued := tel.Gauge("server.queued")
+	inflight := tel.Gauge("server.inflight")
+
+	before := runtime.NumGoroutine()
+
+	// Occupy the only compute slot.
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue four waiters, then cancel them all.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- a.acquire(ctx)
+		}()
+	}
+	// Wait until all four hold queue slots.
+	for deadline := time.Now().Add(5 * time.Second); queued.Value() != 4; {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued gauge %d, want 4", queued.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != context.Canceled {
+			t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+		}
+	}
+	if got := queued.Value(); got != 0 {
+		t.Fatalf("queue-depth gauge %d after cancellation, want 0", got)
+	}
+	if got := inflight.Value(); got != 1 {
+		t.Fatalf("inflight gauge %d, want 1 (only the original holder)", got)
+	}
+
+	// The queue must be fully reusable: fill it again without overload.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var wg2 sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			_ = a.acquire(ctx2)
+		}()
+	}
+	for deadline := time.Now().Add(5 * time.Second); queued.Value() != 4; {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue not reusable: gauge %d, want 4 (slots leaked?)", queued.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A fifth waiter finds the queue genuinely full — accounting is exact.
+	if err := a.acquire(context.Background()); err != errOverload {
+		t.Fatalf("fifth waiter got %v, want errOverload", err)
+	}
+	cancel2()
+	wg2.Wait()
+
+	// Release the compute slot; a fresh acquire must get it immediately —
+	// cancellation leaked no compute capacity.
+	a.release()
+	fast, fastCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer fastCancel()
+	if err := a.acquire(fast); err != nil {
+		t.Fatalf("acquire after cancellations: %v (compute slot leaked?)", err)
+	}
+	a.release()
+	if got := inflight.Value(); got != 0 {
+		t.Fatalf("inflight gauge %d at end, want 0", got)
+	}
+
+	// Goroutine-leak guard: all waiter goroutines exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines: before=%d after=%d — waiters leaked", before, n)
+	}
+}
+
+// TestAdmissionDeadClientNeverComputes covers the race where a queued waiter
+// is granted a compute slot in the same instant its context is canceled: the
+// slot must be returned, not charged to the dead client.
+func TestAdmissionDeadClientNeverComputes(t *testing.T) {
+	tel := telemetry.New()
+	a := newAdmission(1, 1, tel)
+
+	// Pre-canceled context on the fast path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.acquire(ctx); err != context.Canceled {
+		t.Fatalf("pre-canceled acquire returned %v, want context.Canceled", err)
+	}
+	if got := tel.Gauge("server.inflight").Value(); got != 0 {
+		t.Fatalf("inflight gauge %d after dead-client acquire, want 0", got)
+	}
+	// The slot is still available to a live client.
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	a.release()
+}

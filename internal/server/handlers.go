@@ -65,8 +65,7 @@ func (s *Server) handleSphere(req *http.Request) (result, error) {
 		}
 	case "store":
 		if s.spheres == nil {
-			return result{}, &apiError{status: http.StatusConflict,
-				msg: "no sphere store loaded; start soid with -spheres or use source=compute"}
+			return result{}, conflict("no sphere store loaded; start soid with -spheres or use source=compute")
 		}
 	case "compute":
 	default:
@@ -164,8 +163,7 @@ func (s *Server) handleStability(req *http.Request) (result, error) {
 // budget (plus grace) acts as a hard timeout instead.
 func (s *Server) handleSeeds(req *http.Request) (result, error) {
 	if s.tcSets == nil {
-		return result{}, &apiError{status: http.StatusConflict,
-			msg: "no sphere store loaded; /v1/seeds requires soid -spheres"}
+		return result{}, conflict("no sphere store loaded; /v1/seeds requires soid -spheres")
 	}
 	k, err := queryInt(req, "k", 0)
 	if err != nil {

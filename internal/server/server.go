@@ -251,13 +251,29 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
+	// Liveness: the process is up and able to answer. Stays 200 while
+	// draining — a draining daemon is alive, and restarting it would abort
+	// the drain. Readiness (should this replica receive traffic?) is /readyz.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		resp := ReadyResponse{
+			Ready:            true,
+			GraphFingerprint: fmt.Sprintf("%016x", s.graphFP),
+			IndexFingerprint: s.fpHex,
+			SpheresLoaded:    s.spheres != nil,
+		}
+		status := http.StatusOK
+		if s.draining.Load() {
+			resp.Ready = false
+			resp.Reason = "draining"
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(resp)
 	})
 	mux.Handle("GET /v1/info", s.endpoint("info", false, s.handleInfo))
 	mux.Handle("GET /v1/sphere/{node}", s.endpoint("sphere", true, s.handleSphere))
@@ -276,6 +292,12 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Remote fault injection for cross-process chaos harnesses: only mounted
+	// behind the SOI_FAILPOINTS_HTTP env gate — a production daemon must
+	// never expose this by accident.
+	if fault.HTTPEnabled() {
+		mux.Handle("/debug/failpoints", fault.Handler())
+	}
 	s.mux = mux
 }
 
@@ -317,20 +339,26 @@ type result struct {
 
 func ok(v any) result { return result{status: http.StatusOK, v: v} }
 
-// apiError is a handler-raised client error with a definite status code.
+// apiError is a handler-raised client error with a definite status and
+// machine-readable code.
 type apiError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *apiError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *apiError {
-	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
 func notFound(format string, args ...any) *apiError {
-	return &apiError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+	return &apiError{status: http.StatusNotFound, code: CodeNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func conflict(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusConflict, code: CodeConflict, msg: fmt.Sprintf(format, args...)}
 }
 
 // budgetGrace is added to the request budget to form the hard context
@@ -350,7 +378,7 @@ func (s *Server) endpoint(name string, cacheable bool, fn func(*http.Request) (r
 		defer func() { s.mLatency[name].Observe(time.Since(start).Nanoseconds()) }()
 
 		if s.draining.Load() {
-			s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+			s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", time.Second)
 			return
 		}
 
@@ -366,7 +394,7 @@ func (s *Server) endpoint(name string, cacheable bool, fn func(*http.Request) (r
 
 		budget, err := s.requestBudget(req)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err.Error())
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
 			return
 		}
 		deadline := start.Add(budget)
@@ -431,30 +459,41 @@ func (s *Server) writeMappedError(w http.ResponseWriter, err error) {
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
-		s.writeError(w, ae.status, ae.msg)
+		s.writeError(w, ae.status, ae.code, ae.msg, 0)
 	case errors.Is(err, errOverload):
 		s.mRejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusTooManyRequests, err.Error())
+		s.writeError(w, http.StatusTooManyRequests, CodeOverloaded, err.Error(), time.Second)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, checkpoint.ErrDeadline):
-		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusServiceUnavailable,
-			"request budget too small to produce a result; retry with a larger budget")
+		s.writeError(w, http.StatusServiceUnavailable, CodeBudget,
+			"request budget too small to produce a result; retry with a larger budget", time.Second)
 	case errors.Is(err, context.Canceled):
 		// Client went away; status code is a formality.
-		s.writeError(w, http.StatusServiceUnavailable, "request canceled")
+		s.writeError(w, http.StatusServiceUnavailable, CodeCanceled, "request canceled", 0)
 	default:
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
 	if status >= 400 && status != http.StatusTooManyRequests {
 		s.mErrors.Inc()
 	}
+	WriteError(w, status, code, msg, retryAfter)
+}
+
+// WriteError writes the standard /v1 error envelope. Exported so the soigw
+// gateway (and the loading Gate) emit byte-compatible errors.
+func WriteError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second)))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorInfo{
+		Code:         code,
+		Message:      msg,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	}})
 }
 
 // cacheKey canonicalizes the request into a cache key: endpoint, path (which

@@ -182,10 +182,34 @@ func TestNodeErrors(t *testing.T) {
 		if rec.Code != tc.code {
 			t.Errorf("GET %s: status %d, want %d (%s)", tc.url, rec.Code, tc.code, rec.Body.String())
 		}
-		if body["error"] == "" {
+		code, msg := envelope(t, body)
+		if msg == "" {
 			t.Errorf("GET %s: no error message", tc.url)
 		}
+		want := CodeBadRequest
+		if tc.code == 404 {
+			want = CodeNotFound
+		}
+		if code != want {
+			t.Errorf("GET %s: error code %q, want %q", tc.url, code, want)
+		}
 	}
+}
+
+// envelope unpacks the standard {"error":{"code","message","retry_after_ms"}}
+// body, failing the test on any other shape.
+func envelope(t testing.TB, body map[string]any) (code, msg string) {
+	t.Helper()
+	obj, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf(`error body %v, want an {"error":{...}} envelope`, body)
+	}
+	code, _ = obj["code"].(string)
+	msg, _ = obj["message"].(string)
+	if code == "" {
+		t.Fatalf("error envelope %v has no code", obj)
+	}
+	return code, msg
 }
 
 func TestSeedsEndpoint(t *testing.T) {
@@ -387,8 +411,15 @@ func TestOverload429(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
-	if !strings.Contains(body["error"].(string), "overload") {
-		t.Fatalf("error %v, want overload mention", body["error"])
+	code, msg := envelope(t, body)
+	if code != CodeOverloaded {
+		t.Fatalf("error code %q, want %q", code, CodeOverloaded)
+	}
+	if !strings.Contains(msg, "overload") {
+		t.Fatalf("error %v, want overload mention", msg)
+	}
+	if !RetryableCode(code) {
+		t.Fatal("overloaded must be a retryable code")
 	}
 	if code := <-slow; code != 200 {
 		t.Fatalf("slow request status %d, want 200", code)
@@ -510,16 +541,86 @@ func TestGracefulDrain(t *testing.T) {
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Fatal("server still accepting connections after Shutdown")
 	}
-	// And the handler itself (were it still mounted elsewhere) refuses work.
-	rec := httptest.NewRecorder()
-	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sphere/1", nil))
+	// And the handler itself (were it still mounted elsewhere) refuses work
+	// with a retryable "draining" code.
+	rec, body := do(t, s, "/v1/sphere/1")
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("drained handler status %d, want 503", rec.Code)
 	}
+	if code, _ := envelope(t, body); code != CodeDraining {
+		t.Fatalf("drained handler code %q, want %q", code, CodeDraining)
+	}
+	// Liveness stays green while draining — restarting a draining process
+	// would abort the drain; readiness is what flips.
 	rec = httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("drained healthz status %d, want 200 (liveness)", rec.Code)
+	}
+	rec, body = do(t, s, "/readyz")
 	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("drained healthz status %d, want 503", rec.Code)
+		t.Fatalf("drained readyz status %d, want 503", rec.Code)
+	}
+	if body["ready"] != false || body["reason"] != "draining" {
+		t.Fatalf("drained readyz body %v, want ready=false reason=draining", body)
+	}
+}
+
+func TestReadyzSurfacesFingerprints(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec, body := do(t, s, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz status %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["ready"] != true {
+		t.Fatalf("ready %v, want true", body["ready"])
+	}
+	if body["index_fingerprint"] != fmt.Sprintf("%016x", s.IndexFingerprint()) {
+		t.Fatalf("index fingerprint %v, want %016x", body["index_fingerprint"], s.IndexFingerprint())
+	}
+	if body["graph_fingerprint"] != fmt.Sprintf("%016x", s.GraphFingerprint()) {
+		t.Fatalf("graph fingerprint %v, want %016x", body["graph_fingerprint"], s.GraphFingerprint())
+	}
+}
+
+// TestGateLoadingToReady covers the startup window: the Gate answers
+// liveness 200 / readiness 503 "loading" before artifacts load, then serves
+// the real handler after Ready.
+func TestGateLoadingToReady(t *testing.T) {
+	g := NewGate()
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("loading healthz status %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("loading readyz status %d, want 503", rec.Code)
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil || ready.Ready || ready.Reason != "loading" {
+		t.Fatalf("loading readyz body %s (err %v), want ready=false reason=loading", rec.Body.String(), err)
+	}
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sphere/1", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("loading query status %d, want 503", rec.Code)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != CodeLoading {
+		t.Fatalf("loading query body %s (err %v), want code %q", rec.Body.String(), err, CodeLoading)
+	}
+	if !RetryableCode(env.Error.Code) {
+		t.Fatal("loading must be a retryable code")
+	}
+
+	s := newTestServer(t, nil)
+	g.Ready(s.Handler())
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready readyz status %d, want 200", rec.Code)
 	}
 }
 
@@ -572,8 +673,12 @@ func TestNewRejectsMismatchedArtifacts(t *testing.T) {
 func TestBudgetCap(t *testing.T) {
 	s := newTestServer(t, func(c *Config) { c.MaxBudget = 50 * time.Millisecond })
 	// A huge requested budget is capped, so this still degrades to 206
-	// rather than sampling for an hour.
-	rec, _ := do(t, s, "/v1/spread?seeds=0&method=mc&trials=5000000&budget=1h")
+	// rather than sampling for an hour. The trial count is large enough
+	// that the capped 50ms budget always truncates, but small enough that
+	// the sampler's uninterruptible per-trial RNG setup stays well inside
+	// the budget grace even under -race with the full suite in parallel —
+	// past that, the hard deadline turns the 206 into a 503.
+	rec, _ := do(t, s, "/v1/spread?seeds=0&method=mc&trials=1000000&budget=1h")
 	if rec.Code != http.StatusPartialContent {
 		t.Fatalf("status %d, want 206 under capped budget: %s", rec.Code, rec.Body.String())
 	}
