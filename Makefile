@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke topology-smoke conformance cover all
+.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke topology-smoke fsck-smoke conformance cover all
 
 all: build vet test
 
@@ -24,11 +24,12 @@ bench:
 # by benchmark name. BENCHTIME=1x gives a smoke run; the committed
 # BENCH_*.json baselines use the default benchtime.
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr7.json
 
 bench-json:
 	{ $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) . ; \
-	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/server ; } \
+	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/server ; \
+	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/index ; } \
 	  | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz runs over every binary-format decoder (graph TSV, index v02,
@@ -38,7 +39,8 @@ FUZZTIME ?= 10s
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadTSV -fuzztime=$(FUZZTIME) ./internal/graph
-	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/index
+	$(GO) test -run=^$$ -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/index
+	$(GO) test -run=^$$ -fuzz='^FuzzReadV03$$' -fuzztime=$(FUZZTIME) ./internal/index
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
 # End-to-end serving smoke: build soid, start it on an ephemeral port
@@ -54,13 +56,23 @@ server-smoke:
 topology-smoke:
 	./scripts/topology-smoke.sh
 
+# Corruption-repair smoke: build an index on disk, flip bytes in one world
+# block, verify soifsck reports exactly that block, serve the corrupt file
+# with soid -mmap (degraded 206 answers with a widened bound), repair it
+# with soifsck -repair, and assert the repaired file serves 200 again.
+fsck-smoke:
+	./scripts/fsck-smoke.sh
+
 # Exact-oracle conformance suite: every estimator checked against the
 # brute-force possible-world oracle within statcheck-derived bounds.
 # -count=2 runs everything twice to flush out any order or cache
 # dependence — the suite is deterministic by construction, so both runs
-# must agree.
+# must agree. The second invocation re-runs the server suite against the
+# memory-mapped lazy index loader: serialize → mmap → page-on-demand must
+# be statistically indistinguishable from the in-memory index.
 conformance:
 	$(GO) test -run 'Conformance|Oracle' -count=2 ./...
+	SOI_INDEX_MMAP=1 $(GO) test -run 'Conformance' -count=1 ./internal/server
 
 # Coverage gate: full-suite statement coverage must stay at or above the
 # floor pinned in scripts/coverage-gate.sh (override with COVER_MIN=NN.N).

@@ -20,6 +20,14 @@
 // gracefully: in-flight requests finish (bounded by -drain-timeout), new
 // ones get 503.
 //
+// With -mmap (or SOI_INDEX_MMAP=1) the index file is memory-mapped and world
+// blocks fault in on demand instead of being loaded eagerly: startup is
+// near-instant and resident memory tracks the touched worlds. Corrupt blocks
+// are quarantined rather than fatal — queries keep answering over the
+// surviving worlds with HTTP 206 and a widened error bound until the file is
+// repaired with soifsck. -mmap requires a v03 index file (rebuild older
+// files with: sphere -graph g.tsv -index old.idx -build-index new.idx).
+//
 // Exit codes: 0 clean shutdown, 1 startup or serving errors.
 package main
 
@@ -46,8 +54,10 @@ import (
 
 func main() {
 	var (
-		graphPath   = flag.String("graph", "", "edge-list TSV file (required)")
-		indexPath   = flag.String("index", "", "prebuilt index file (sphere -build-index); empty builds one in memory")
+		graphPath = flag.String("graph", "", "edge-list TSV file (required)")
+		indexPath = flag.String("index", "", "prebuilt index file (sphere -build-index); empty builds one in memory")
+		mmapIdx   = flag.Bool("mmap", os.Getenv("SOI_INDEX_MMAP") == "1",
+			"memory-map the -index file and fault world blocks in on demand; corrupt blocks are quarantined, not fatal (default from SOI_INDEX_MMAP=1)")
 		spherePath  = flag.String("spheres", "", "sphere store file (sphere -all -store); enables /v1/seeds")
 		samples     = flag.Int("samples", 1000, "worlds ℓ when building the index in memory (no -index)")
 		ltModel     = flag.Bool("lt", false, "Linear Threshold model (must match how the index was built)")
@@ -68,19 +78,22 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("soid: ")
-	if err := run(*graphPath, *indexPath, *spherePath, *samples, *ltModel,
+	if err := run(*graphPath, *indexPath, *spherePath, *samples, *ltModel, *mmapIdx,
 		*addr, *addrFile, *expectFP, *cacheSize, *maxInflight, *maxQueue,
 		*defBudget, *maxBudget, *costSamples, *trials, *seed, *drain, *statsJSON); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(graphPath, indexPath, spherePath string, samples int, lt bool,
+func run(graphPath, indexPath, spherePath string, samples int, lt, mmapIdx bool,
 	addr, addrFile, expectFP string, cacheSize, maxInflight, maxQueue int,
 	defBudget, maxBudget time.Duration, costSamples, trials int, seed uint64,
 	drain time.Duration, statsJSON string) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
+	}
+	if mmapIdx && indexPath == "" {
+		return fmt.Errorf("-mmap requires -index (there is no file to map)")
 	}
 	if cacheSize == 0 {
 		cacheSize = -1 // flag semantics: 0 disables; Config uses negative for that
@@ -131,7 +144,19 @@ func run(graphPath, indexPath, spherePath string, samples int, lt bool,
 	telemetry.PublishExpvar("soi", tel)
 
 	var x *index.Index
-	if indexPath != "" {
+	if mmapIdx {
+		x, err = index.OpenMmap(indexPath, g, index.MmapOptions{
+			Telemetry: tel,
+			OnQuarantine: func(world int, qerr error) {
+				log.Printf("QUARANTINE world %d: %v (answers degrade to 206; repair %s with soifsck)",
+					world, qerr, indexPath)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("mapping index %s: %w", indexPath, err)
+		}
+		defer x.Close()
+	} else if indexPath != "" {
 		x, err = index.LoadFile(indexPath, g)
 		if err != nil {
 			return fmt.Errorf("loading index %s (does it belong to %s?): %w", indexPath, graphPath, err)
@@ -177,8 +202,8 @@ func run(graphPath, indexPath, spherePath string, samples int, lt bool,
 	}
 
 	gate.Ready(srv.Handler())
-	log.Printf("serving on http://%s  graph=%016x index=%016x nodes=%d worlds=%d spheres=%v",
-		resolved, graphFP, srv.IndexFingerprint(), g.NumNodes(), x.NumWorlds(), spheres != nil)
+	log.Printf("serving on http://%s  graph=%016x index=%016x nodes=%d worlds=%d spheres=%v mmap=%v",
+		resolved, graphFP, srv.IndexFingerprint(), g.NumNodes(), x.NumWorlds(), spheres != nil, x.Lazy())
 
 	// Block until SIGINT/SIGTERM, then drain: flip the server's drain flag
 	// (new requests get 503 + code "draining", /readyz goes not-ready), then

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soi/internal/core"
+	"soi/internal/graph"
+	"soi/internal/index"
+)
+
+// fsckGraph is a small ring with shortcuts — enough worlds and nodes that
+// every block is a few hundred bytes.
+func fsckGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(12)
+	for i := 0; i < 12; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%12), 0.8)
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+5)%12), 0.3)
+	}
+	return b.MustBuild()
+}
+
+func writeIndexFile(t *testing.T) string {
+	t.Helper()
+	x, err := index.Build(fsckGraph(t), index.Options{Samples: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "g.idx")
+	if err := x.SaveFile(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// corruptWorld flips a byte in the middle of one world's block, locating it
+// through the fsck report's directory geometry.
+func corruptWorld(t *testing.T, path string, world int) {
+	t.Helper()
+	rep, err := index.Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Blocks[world]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[b.Off+b.Len/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFileIndex(t *testing.T) {
+	p := writeIndexFile(t)
+	if code := checkFile(p, "", true); code != 0 {
+		t.Fatalf("clean index: exit %d, want 0", code)
+	}
+	corruptWorld(t, p, 3)
+	if code := checkFile(p, "", false); code != 1 {
+		t.Fatalf("corrupt index: exit %d, want 1", code)
+	}
+	out := filepath.Join(t.TempDir(), "fixed.idx")
+	if code := checkFile(p, out, false); code != 1 {
+		t.Fatalf("repair of corrupt index: exit %d, want 1 (corruption was found)", code)
+	}
+	if code := checkFile(out, "", false); code != 0 {
+		t.Fatalf("repaired index: exit %d, want 0", code)
+	}
+	rep, err := index.Fsck(out)
+	if err != nil || !rep.Clean() || rep.Worlds != 7 {
+		t.Fatalf("repaired report %+v (err %v), want clean with 7 worlds", rep, err)
+	}
+}
+
+func TestCheckFileIndexRepairTotalLoss(t *testing.T) {
+	p := writeIndexFile(t)
+	for w := 0; w < 8; w++ {
+		corruptWorld(t, p, w)
+	}
+	out := filepath.Join(t.TempDir(), "fixed.idx")
+	if code := checkFile(p, out, false); code != 2 {
+		t.Fatalf("repair with zero survivors: exit %d, want 2", code)
+	}
+}
+
+func TestCheckFileSpheres(t *testing.T) {
+	g := fsckGraph(t)
+	x, err := index.Build(g, index.Options{Samples: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spheres := core.ComputeAll(x, core.Options{CostSamples: 20, CostSeed: 6})
+	p := filepath.Join(t.TempDir(), "g.spheres")
+	if err := core.SaveSpheresFile(p, spheres); err != nil {
+		t.Fatal(err)
+	}
+	if code := checkFile(p, "", false); code != 0 {
+		t.Fatalf("clean store: exit %d, want 0", code)
+	}
+
+	// Flip the trailing checksum footer: detectable and repairable.
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := checkFile(p, "", false); code != 1 {
+		t.Fatalf("corrupt store: exit %d, want 1", code)
+	}
+	out := filepath.Join(t.TempDir(), "fixed.spheres")
+	if code := checkFile(p, out, false); code != 1 {
+		t.Fatalf("repair of corrupt store: exit %d, want 1 (original was corrupt)", code)
+	}
+	if code := checkFile(out, "", false); code != 0 {
+		t.Fatalf("repaired store: exit %d, want 0", code)
+	}
+	if code := checkFile(out, filepath.Join(t.TempDir(), "again.spheres"), false); code != 0 {
+		t.Fatalf("repair of a clean store: exit %d, want 0", code)
+	}
+
+	// Payload corruption is unrecoverable.
+	data[8] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := checkFile(p, out, false); code != 2 {
+		t.Fatalf("repair of payload-corrupt store: exit %d, want 2", code)
+	}
+}
+
+func TestCheckFileUnusable(t *testing.T) {
+	if code := checkFile(filepath.Join(t.TempDir(), "nope"), "", false); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	p := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(p, []byte("NOTANIDX-at-all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := checkFile(p, "", false); code != 2 {
+		t.Fatalf("unrecognized magic: exit %d, want 2", code)
+	}
+}

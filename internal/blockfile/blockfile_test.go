@@ -1,0 +1,133 @@
+package blockfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "win.bin")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWindowRangeBounds(t *testing.T) {
+	w, err := OpenWindow(writeTemp(t, []byte("hello world")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Size() != 11 {
+		t.Fatalf("Size = %d, want 11", w.Size())
+	}
+	b, err := w.Range(6, 5)
+	if err != nil || string(b) != "world" {
+		t.Fatalf("Range(6,5) = %q, %v", b, err)
+	}
+	for _, c := range []struct{ off, n int64 }{
+		{-1, 2}, {0, 12}, {11, 1}, {5, -1}, {1 << 62, 1 << 62},
+	} {
+		if _, err := w.Range(c.off, c.n); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Range(%d,%d): err = %v, want ErrTruncated", c.off, c.n, err)
+		}
+	}
+}
+
+func TestWindowReadVerified(t *testing.T) {
+	payload := []byte("some block payload")
+	w, err := OpenWindow(writeTemp(t, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	got, err := w.ReadVerified(0, uint32(len(payload)), Checksum(payload))
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("ReadVerified = %q, %v", got, err)
+	}
+	if _, err := w.ReadVerified(0, uint32(len(payload)), Checksum(payload)+1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad CRC: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := w.ReadVerified(5, uint32(len(payload)), Checksum(payload)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("out of range: err = %v, want ErrTruncated", err)
+	}
+}
+
+// A file shrunk after mapping must surface as ErrTruncated, not SIGBUS.
+// Bounds checks can't see the shrink (the Window captured the old size), so
+// this exercises the SetPanicOnFault recovery path. Only meaningful where
+// the window is a real mapping.
+func TestWindowShrunkFileFaults(t *testing.T) {
+	data := make([]byte, 64*1024) // span pages so truncation unmaps the tail
+	for i := range data {
+		data[i] = byte(i)
+	}
+	p := writeTemp(t, data)
+	w, err := OpenWindow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if !w.Mapped() {
+		t.Skip("heap-backed window: shrink cannot fault")
+	}
+	if err := os.Truncate(p, 4096); err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.ReadVerified(60*1024, 1024, 0)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("read past truncation: err = %v, want ErrTruncated", err)
+	}
+	// The in-bounds prefix must still read fine.
+	if _, err := w.ReadVerified(0, 1024, Checksum(data[:1024])); err != nil {
+		t.Fatalf("read of surviving prefix: %v", err)
+	}
+}
+
+func TestDirectoryRoundTrip(t *testing.T) {
+	dir := []BlockInfo{
+		{Off: 100, Len: 40, CRC: 0xdeadbeef, Aux: 3},
+		{Off: 140, Len: 0, CRC: 0, Aux: 0},
+		{Off: 140, Len: 1 << 20, CRC: 42, Aux: 7},
+	}
+	var buf []byte
+	for _, e := range dir {
+		buf = AppendEntry(buf, e)
+	}
+	got, err := ParseDirectory(buf, len(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dir {
+		if got[i] != dir[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], dir[i])
+		}
+	}
+	if _, err := ParseDirectory(buf[:len(buf)-1], len(dir)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short directory: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestValidateLayout(t *testing.T) {
+	dir := []BlockInfo{{Off: 24, Len: 10}, {Off: 34, Len: 6}}
+	if err := ValidateLayout(dir, 24, 4, 44); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	if err := ValidateLayout(dir, 24, 4, -1); err != nil {
+		t.Fatalf("unknown file size rejected: %v", err)
+	}
+	if err := ValidateLayout(dir, 24, 4, 40); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short file: err = %v, want ErrTruncated", err)
+	}
+	if err := ValidateLayout(dir, 24, 4, 50); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: err = %v, want ErrCorrupt", err)
+	}
+	gap := []BlockInfo{{Off: 24, Len: 10}, {Off: 36, Len: 6}}
+	if err := ValidateLayout(gap, 24, 4, 46); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("gap between blocks: err = %v, want ErrCorrupt", err)
+	}
+}

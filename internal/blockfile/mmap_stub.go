@@ -1,0 +1,17 @@
+//go:build !unix
+
+package blockfile
+
+import "os"
+
+// OpenWindow opens path as a read-only window. Platforms without the unix
+// mmap path read the whole file into the heap: the bounds-checked Window API
+// is identical, only the page-on-demand economics are lost (Mapped reports
+// false so callers can tell).
+func OpenWindow(path string) (*Window, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{data: data}, nil
+}

@@ -1,0 +1,42 @@
+//go:build unix
+
+package blockfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenWindow opens path as a read-only window. On unix the file is
+// memory-mapped (PROT_READ, MAP_SHARED), so blocks are paged in on demand;
+// the descriptor is closed immediately after mapping — the mapping keeps the
+// inode alive. Empty files get an empty, unmapped window (mmap of length 0
+// is an error on Linux).
+func OpenWindow(path string) (*Window, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Window{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("blockfile: %s is %d bytes, too large to map on this platform", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("blockfile: mmap %s: %w", path, err)
+	}
+	return &Window{
+		data:   data,
+		mapped: true,
+		closer: func() error { return syscall.Munmap(data) },
+	}, nil
+}

@@ -161,5 +161,12 @@ func SpreadFromIndex(x *index.Index, seeds []graph.NodeID, s *index.Scratch) flo
 	for i := 0; i < x.NumWorlds(); i++ {
 		total += x.CascadeSizeFromSet(seeds, i, s)
 	}
-	return float64(total) / float64(x.NumWorlds())
+	// Quarantined worlds contribute 0 to the sum, so averaging over the
+	// live count — taken after the loop, when any fault-in quarantines have
+	// happened — keeps the estimate unbiased over the surviving sample.
+	live := x.LiveWorlds()
+	if live == 0 {
+		return 0
+	}
+	return float64(total) / float64(live)
 }

@@ -176,6 +176,11 @@ type Result struct {
 	// CostTime is the time spent estimating the expected cost (Figure 4,
 	// right).
 	CostTime time.Duration
+	// Worlds is the number of index worlds the median was actually computed
+	// over. It equals the index's NumWorlds unless worlds were quarantined
+	// (a corruption-degraded mmap index), in which case the caller should
+	// widen its reported error bound to the surviving sample size.
+	Worlds int
 }
 
 // Size returns |Set|.
@@ -199,6 +204,17 @@ func ComputeFromSet(x *index.Index, seeds []graph.NodeID, opts Options) Result {
 func computeWithScratch(x *index.Index, seeds []graph.NodeID, opts Options, s *index.Scratch, m *metricsSet) Result {
 	start := time.Now()
 	samples := x.CascadesFromSet(seeds, s)
+	if len(samples) == 0 {
+		// Every world quarantined: there is no sample to take a median of.
+		// Callers (the daemon) treat Worlds == 0 as "unserveable", distinct
+		// from a sphere that happens to be empty.
+		return Result{
+			Seeds:        append([]graph.NodeID(nil), seeds...),
+			SampleCost:   1,
+			ExpectedCost: -1,
+			MedianTime:   time.Since(start),
+		}
+	}
 	med := computeMedian(samples, opts.Algorithm)
 	res := Result{
 		Seeds:        append([]graph.NodeID(nil), seeds...),
@@ -206,6 +222,7 @@ func computeWithScratch(x *index.Index, seeds []graph.NodeID, opts Options, s *i
 		SampleCost:   med.Cost,
 		ExpectedCost: -1,
 		MedianTime:   time.Since(start),
+		Worlds:       len(samples),
 	}
 	if opts.CostSamples > 0 {
 		cs := time.Now()

@@ -214,3 +214,30 @@ func LoadSpheresFile(path string) ([]Result, error) {
 	defer f.Close()
 	return LoadSpheres(f)
 }
+
+// RepairSpheresFile rewrites a sphere store whose payload still parses into
+// a clean v02 file at dst, returning the sphere count. This recovers the
+// corruption classes a single trailing checksum makes fatal — a flipped or
+// truncated footer, trailing garbage, or a legacy v01 file — without
+// recomputing anything. Payload corruption is unrecoverable (the records are
+// not independently checksummed): rebuild with sphere -all -store instead.
+func RepairSpheresFile(src, dst string) (int, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var m [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return 0, fmt.Errorf("core: read sphere magic: %w", err)
+	}
+	if m != sphereMagicV1 && m != sphereMagicV2 {
+		return 0, fmt.Errorf("core: bad sphere-store magic %q", m[:])
+	}
+	out, err := loadSphereBody(br)
+	if err != nil {
+		return 0, fmt.Errorf("core: sphere-store payload is unrecoverable (%w); rebuild with sphere -all -store", err)
+	}
+	return len(out), SaveSpheresFile(dst, out)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
 	"soi/internal/graph"
@@ -171,5 +172,56 @@ func TestLoadSpheresRejectsCorruption(t *testing.T) {
 			}()
 			_, _ = LoadSpheres(bytes.NewReader(data))
 		}()
+	}
+}
+
+func TestRepairSpheresFile(t *testing.T) {
+	g := paperGraph(t)
+	x := buildIndex(t, g, 50, 35)
+	results := ComputeAll(x, Options{})
+	dir := t.TempDir()
+	src := dir + "/spheres.bin"
+	if err := SaveSpheresFile(src, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A flipped checksum footer makes the whole store unloadable...
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpheresFile(src); err == nil {
+		t.Fatal("corrupt footer accepted")
+	}
+	// ...but the payload is intact, so repair recovers every sphere.
+	out := dir + "/repaired.bin"
+	n, err := RepairSpheresFile(src, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != g.NumNodes() {
+		t.Fatalf("repaired %d spheres, want %d", n, g.NumNodes())
+	}
+	loaded, err := LoadSpheresFile(out)
+	if err != nil {
+		t.Fatalf("repaired store does not load: %v", err)
+	}
+	for v := range results {
+		if !equal(loaded[v].Set, results[v].Set) {
+			t.Fatalf("node %d: set changed across repair", v)
+		}
+	}
+
+	// Payload corruption is beyond repair: records share one checksum.
+	data[8] ^= 0xFF // node-count word
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RepairSpheresFile(src, out); err == nil {
+		t.Fatal("unrecoverable payload repaired silently")
 	}
 }

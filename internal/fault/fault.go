@@ -55,6 +55,14 @@ const (
 	CheckpointLoad = "checkpoint/load"
 	// IndexSave fires at the start of Index.SaveFile.
 	IndexSave = "index/save"
+	// IndexDirLoad fires in index.OpenMmap after the window is mapped and
+	// before the block directory is parsed/verified: an error here simulates
+	// an unreadable or torn directory.
+	IndexDirLoad = "index/dirload"
+	// IndexBlockFault fires on every lazy world-block fault-in, before the
+	// block is read from the mapping: an injected error is treated exactly
+	// like block corruption and quarantines that world.
+	IndexBlockFault = "index/blockfault"
 	// StoreSave fires at the start of core.SaveSpheresFile.
 	StoreSave = "core/save-spheres"
 	// PoolTask fires before every task the worker pool hands out.

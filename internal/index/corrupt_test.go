@@ -2,11 +2,38 @@ package index
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"soi/internal/graph"
 	"soi/internal/rng"
 )
+
+// writeLegacy serializes x in the retired v01/v02 formats (header, world
+// records, optional whole-file CRC footer) for back-compat tests; WriteTo
+// itself only emits the current v03 format.
+func writeLegacy(t testing.TB, x *Index, magic [8]byte, footer bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, v := range []any{magic, uint32(x.g.NumNodes()), uint32(len(x.entries))} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range x.entries {
+		if err := writeEntry(&buf, &x.entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if footer {
+		sum := crc32.Checksum(buf.Bytes(), castagnoli)
+		if err := binary.Write(&buf, binary.LittleEndian, sum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
 
 // TestReadSurvivesRandomCorruption flips random bits/bytes in a serialized
 // index and requires Read to either fail cleanly or return a structurally
@@ -52,11 +79,13 @@ func TestReadSurvivesRandomCorruption(t *testing.T) {
 	}
 }
 
-// TestReadDetectsEveryBitFlip flips every single bit of a v02 index file in
-// turn and requires Read to reject each corrupted copy. This is the property
-// the CRC32-C footer buys: the structural validators alone cannot catch a
-// flip that leaves every count and id in range (a successor id changed to
-// another valid id, say), but the checksum catches all of them.
+// TestReadDetectsEveryBitFlip flips every single bit of v02 and v03 index
+// files in turn and requires Read to reject each corrupted copy. This is
+// the property the CRC32-C checksums buy: the structural validators alone
+// cannot catch a flip that leaves every count and id in range (a successor
+// id changed to another valid id, say), but the checksums catch all of
+// them. Eager reads are strict everywhere — quarantine-and-degrade is the
+// OpenMmap behavior, tested separately.
 func TestReadDetectsEveryBitFlip(t *testing.T) {
 	g := randomGraph(t, 116, 12, 40)
 	x, err := Build(g, Options{Samples: 2, Seed: 117})
@@ -67,20 +96,25 @@ func TestReadDetectsEveryBitFlip(t *testing.T) {
 	if _, err := x.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	clean := buf.Bytes()
-	for pos := range clean {
-		for bit := 0; bit < 8; bit++ {
-			data := append([]byte(nil), clean...)
-			data[pos] ^= 1 << bit
-			if _, err := Read(bytes.NewReader(data), g); err == nil {
-				t.Fatalf("bit flip at byte %d bit %d was accepted", pos, bit)
+	for name, clean := range map[string][]byte{
+		"v02": writeLegacy(t, x, magicV2, true),
+		"v03": buf.Bytes(),
+	} {
+		for pos := range clean {
+			for bit := 0; bit < 8; bit++ {
+				data := append([]byte(nil), clean...)
+				data[pos] ^= 1 << bit
+				if _, err := Read(bytes.NewReader(data), g); err == nil {
+					t.Fatalf("%s: bit flip at byte %d bit %d was accepted", name, pos, bit)
+				}
 			}
 		}
 	}
 }
 
-// TestReadRejectsTrailingData checks a v02 stream with bytes appended after
-// the checksum footer fails to load.
+// TestReadRejectsTrailingData checks that a stream with extra bytes after
+// the parsed payload fails to load in every format — including v01, whose
+// lack of a checksum footer used to let trailing garbage slide.
 func TestReadRejectsTrailingData(t *testing.T) {
 	g := randomGraph(t, 116, 12, 40)
 	x, err := Build(g, Options{Samples: 2, Seed: 117})
@@ -91,28 +125,32 @@ func TestReadRejectsTrailingData(t *testing.T) {
 	if _, err := x.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	data := append(buf.Bytes(), 0x00)
-	if _, err := Read(bytes.NewReader(data), g); err == nil {
-		t.Fatal("accepted trailing data after the checksum footer")
+	for name, clean := range map[string][]byte{
+		"v01": writeLegacy(t, x, magicV1, false),
+		"v02": writeLegacy(t, x, magicV2, true),
+		"v03": buf.Bytes(),
+	} {
+		if _, err := Read(bytes.NewReader(clean), g); err != nil {
+			t.Fatalf("%s: clean stream rejected: %v", name, err)
+		}
+		data := append(append([]byte(nil), clean...), 0x00)
+		if _, err := Read(bytes.NewReader(data), g); err == nil {
+			t.Fatalf("%s: accepted trailing data after the payload", name)
+		}
 	}
 }
 
 // TestReadAcceptsV01 checks back-compat with the pre-checksum format: a v01
-// file (the v02 bytes minus the footer, magic patched) must load, answer the
-// same queries, and re-serialize as a valid v02 file.
+// file must load, answer the same queries as the index it serializes, and
+// re-serialize as a current-format (v03) file bit-identical to a direct
+// serialization.
 func TestReadAcceptsV01(t *testing.T) {
 	g := randomGraph(t, 118, 20, 60)
 	x, err := Build(g, Options{Samples: 3, Seed: 119, TransitiveReduction: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if _, err := x.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	v2 := buf.Bytes()
-	v1 := append([]byte(nil), v2[:len(v2)-4]...)
-	copy(v1, magicV1[:])
+	v1 := writeLegacy(t, x, magicV1, false)
 
 	loaded, err := Read(bytes.NewReader(v1), g)
 	if err != nil {
@@ -132,13 +170,17 @@ func TestReadAcceptsV01(t *testing.T) {
 		}
 	}
 
-	// v01 -> v02 round trip: re-serializing upgrades the format.
-	var up bytes.Buffer
+	// v01 -> v03 round trip: re-serializing upgrades the format, and the
+	// upgrade is deterministic.
+	var want, up bytes.Buffer
+	if _, err := x.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := loaded.WriteTo(&up); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(up.Bytes(), v2) {
-		t.Fatal("v01 -> v02 round trip did not reproduce the original v02 bytes")
+	if !bytes.Equal(up.Bytes(), want.Bytes()) {
+		t.Fatal("v01 -> v03 round trip did not reproduce the direct v03 serialization")
 	}
 }
 

@@ -23,11 +23,14 @@ type Coverage struct {
 	total   int64    // covered node-slots across all worlds
 }
 
-// NewCoverage returns an empty coverage for the index.
+// NewCoverage returns an empty coverage for the index. Sizing uses
+// NumComponents (the block directory for a lazy index), so no blocks are
+// faulted in here; quarantined worlds contribute no gain in every query.
 func (x *Index) NewCoverage() *Coverage {
-	c := &Coverage{x: x, covered: make([][]bool, len(x.entries))}
-	for i := range x.entries {
-		c.covered[i] = make([]bool, len(x.entries[i].dag))
+	n := x.NumWorlds()
+	c := &Coverage{x: x, covered: make([][]bool, n)}
+	for i := 0; i < n; i++ {
+		c.covered[i] = make([]bool, x.NumComponents(i))
 	}
 	return c
 }
@@ -47,14 +50,17 @@ func (c *Coverage) Reset() {
 // the marginal expected-spread estimate.
 func (c *Coverage) MarginalGain(v graph.NodeID, s *Scratch) int64 {
 	var gain int64
-	for i := range c.x.entries {
+	for i := 0; i < c.x.NumWorlds(); i++ {
 		gain += int64(c.gainInWorld(v, i, s))
 	}
 	return gain
 }
 
 func (c *Coverage) gainInWorld(v graph.NodeID, i int, s *Scratch) int {
-	e := &c.x.entries[i]
+	e := c.x.world(i)
+	if e == nil {
+		return 0
+	}
 	cov := c.covered[i]
 	root := e.comp[v]
 	if cov[root] {
@@ -86,8 +92,11 @@ func (c *Coverage) gainInWorld(v graph.NodeID, i int, s *Scratch) int {
 // the double evaluation CELF++ amortizes. Neither coverage nor w's state is
 // mutated. s and s2 must be distinct scratches.
 func (c *Coverage) MarginalGain2(v, w graph.NodeID, s, s2 *Scratch) (gainV, gainVAfterW int64) {
-	for i := range c.x.entries {
-		e := &c.x.entries[i]
+	for i := 0; i < c.x.NumWorlds(); i++ {
+		e := c.x.world(i)
+		if e == nil {
+			continue
+		}
 		cov := c.covered[i]
 		// Mark w's uncovered cascade components in s2 (closed under
 		// condensation reachability, so pruning at covered is sound).
@@ -141,8 +150,11 @@ func (c *Coverage) MarginalGain2(v, w graph.NodeID, s, s2 *Scratch) (gainV, gain
 // gain (identical to MarginalGain(v) immediately beforehand).
 func (c *Coverage) Add(v graph.NodeID, s *Scratch) int64 {
 	var gain int64
-	for i := range c.x.entries {
-		e := &c.x.entries[i]
+	for i := 0; i < c.x.NumWorlds(); i++ {
+		e := c.x.world(i)
+		if e == nil {
+			continue
+		}
 		cov := c.covered[i]
 		root := e.comp[v]
 		if cov[root] {

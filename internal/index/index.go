@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"soi/internal/blockfile"
 	"soi/internal/graph"
 	"soi/internal/pool"
 	"soi/internal/rng"
@@ -83,13 +84,30 @@ type worldEntry struct {
 
 // Index is the cascade index. It is immutable after Build and safe for
 // concurrent queries, provided each goroutine uses its own Scratch.
+//
+// An index is backed either by eagerly decoded entries (Build, Read) or by
+// a lazy block window (OpenMmap), which faults worlds in on first touch and
+// may quarantine corrupt ones. Query methods treat a quarantined world as
+// contributing nothing — estimator denominators use LiveWorlds, and sample
+// collections skip it — so corruption shrinks the sample instead of
+// skewing it.
 type Index struct {
 	g       *graph.Graph
-	entries []worldEntry
+	entries []worldEntry // eager backing (empty when lazy != nil)
+	lazy    *lazyWorlds  // page-on-demand backing (OpenMmap)
 	tel     *telemetry.Registry
 
 	fpOnce sync.Once
 	fp     uint64
+}
+
+// world returns world i's entry, faulting it in for a lazy index; nil means
+// the world is quarantined and must contribute nothing.
+func (x *Index) world(i int) *worldEntry {
+	if x.lazy != nil {
+		return x.lazy.world(i)
+	}
+	return &x.entries[i]
 }
 
 // SetTelemetry attaches a registry to an index (typically one loaded from
@@ -205,22 +223,45 @@ func buildEntry(g *graph.Graph, r *rng.PCG32, opts Options, bm buildMetrics) wor
 	return worldEntry{comp: dec.Comp, memberOff: off, members: members, dag: dag}
 }
 
-// NumWorlds returns ℓ.
-func (x *Index) NumWorlds() int { return len(x.entries) }
+// NumWorlds returns ℓ, quarantined worlds included (see LiveWorlds).
+func (x *Index) NumWorlds() int {
+	if x.lazy != nil {
+		return len(x.lazy.dir)
+	}
+	return len(x.entries)
+}
 
 // Graph returns the indexed probabilistic graph.
 func (x *Index) Graph() *graph.Graph { return x.g }
 
-// NumComponents returns the number of SCCs in world i.
-func (x *Index) NumComponents(i int) int { return len(x.entries[i].dag) }
+// NumComponents returns the number of SCCs in world i. For a lazy index it
+// is answered from the block directory without faulting the block in.
+func (x *Index) NumComponents(i int) int {
+	if x.lazy != nil {
+		return int(x.lazy.dir[i].Aux)
+	}
+	return len(x.entries[i].dag)
+}
 
 // CondensationEdges returns the number of condensation edges stored for
-// world i (after reduction, if enabled).
-func (x *Index) CondensationEdges(i int) int { return scc.NumEdges(x.entries[i].dag) }
+// world i (after reduction, if enabled); 0 for a quarantined world.
+func (x *Index) CondensationEdges(i int) int {
+	e := x.world(i)
+	if e == nil {
+		return 0
+	}
+	return scc.NumEdges(e.dag)
+}
 
 // Component returns the component identifier of node v in world i (the
-// matrix I[v,i] of the paper).
-func (x *Index) Component(v graph.NodeID, i int) int32 { return x.entries[i].comp[v] }
+// matrix I[v,i] of the paper), or -1 if world i is quarantined.
+func (x *Index) Component(v graph.NodeID, i int) int32 {
+	e := x.world(i)
+	if e == nil {
+		return -1
+	}
+	return e.comp[v]
+}
 
 // Scratch holds reusable per-goroutine buffers for queries.
 type Scratch struct {
@@ -228,11 +269,12 @@ type Scratch struct {
 	comps []int32
 }
 
-// NewScratch returns a Scratch sized for this index.
+// NewScratch returns a Scratch sized for this index. Sizing uses
+// NumComponents, so for a lazy index no blocks are faulted in.
 func (x *Index) NewScratch() *Scratch {
 	maxComps := 0
-	for i := range x.entries {
-		if c := len(x.entries[i].dag); c > maxComps {
+	for i := 0; i < x.NumWorlds(); i++ {
+		if c := x.NumComponents(i); c > maxComps {
 			maxComps = c
 		}
 	}
@@ -245,9 +287,13 @@ func (x *Index) Cascade(v graph.NodeID, i int, s *Scratch, out []graph.NodeID) [
 }
 
 // CascadeFromSet returns the sorted cascade of a seed set in world i (the
-// union of the members' cascades), appended to out.
+// union of the members' cascades), appended to out. A quarantined world
+// returns out unchanged.
 func (x *Index) CascadeFromSet(seeds []graph.NodeID, i int, s *Scratch, out []graph.NodeID) []graph.NodeID {
-	e := &x.entries[i]
+	e := x.world(i)
+	if e == nil {
+		return out
+	}
 	s.comps = s.comps[:0]
 	for _, v := range seeds {
 		c := e.comp[v]
@@ -278,9 +324,13 @@ func (x *Index) CascadeSize(v graph.NodeID, i int, s *Scratch) int {
 	return x.CascadeSizeFromSet([]graph.NodeID{v}, i, s)
 }
 
-// CascadeSizeFromSet returns the cascade size of a seed set in world i.
+// CascadeSizeFromSet returns the cascade size of a seed set in world i,
+// or 0 for a quarantined world.
 func (x *Index) CascadeSizeFromSet(seeds []graph.NodeID, i int, s *Scratch) int {
-	e := &x.entries[i]
+	e := x.world(i)
+	if e == nil {
+		return 0
+	}
 	s.comps = s.comps[:0]
 	for _, v := range seeds {
 		c := e.comp[v]
@@ -308,9 +358,13 @@ func (x *Index) CascadeSizeFromSet(seeds []graph.NodeID, i int, s *Scratch) int 
 
 // VisitCascadeComps calls f(c, size) for every component in the cascade of
 // seeds in world i. It is the allocation-free primitive the influence-
-// maximization greedy uses for marginal-gain computations.
+// maximization greedy uses for marginal-gain computations. A quarantined
+// world visits nothing.
 func (x *Index) VisitCascadeComps(seeds []graph.NodeID, i int, s *Scratch, f func(c int32, size int32)) {
-	e := &x.entries[i]
+	e := x.world(i)
+	if e == nil {
+		return
+	}
 	s.comps = s.comps[:0]
 	for _, v := range seeds {
 		c := e.comp[v]
@@ -334,36 +388,50 @@ func (x *Index) VisitCascadeComps(seeds []graph.NodeID, i int, s *Scratch, f fun
 	}
 }
 
-// Cascades returns all ℓ cascades of v, each sorted. This is the per-node
-// sample collection handed to the Jaccard median (Algorithm 2).
+// Cascades returns the cascades of v in every live world, each sorted. This
+// is the per-node sample collection handed to the Jaccard median
+// (Algorithm 2). Quarantined worlds are skipped — not returned as empty
+// cascades, which would bias the median — so len(result) is LiveWorlds.
 func (x *Index) Cascades(v graph.NodeID, s *Scratch) [][]graph.NodeID {
-	out := make([][]graph.NodeID, x.NumWorlds())
-	for i := range out {
-		out[i] = x.Cascade(v, i, s, nil)
-	}
-	return out
+	return x.CascadesFromSet([]graph.NodeID{v}, s)
 }
 
-// CascadesFromSet returns all ℓ cascades of a seed set.
+// CascadesFromSet returns the cascades of a seed set in every live world.
 func (x *Index) CascadesFromSet(seeds []graph.NodeID, s *Scratch) [][]graph.NodeID {
-	out := make([][]graph.NodeID, x.NumWorlds())
-	for i := range out {
-		out[i] = x.CascadeFromSet(seeds, i, s, nil)
+	n := x.NumWorlds()
+	out := make([][]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if x.world(i) == nil {
+			continue
+		}
+		out = append(out, x.CascadeFromSet(seeds, i, s, nil))
 	}
 	return out
 }
 
 // MemoryFootprint returns an estimate of the index's resident bytes, used
-// by the space-ablation benchmarks.
+// by the space-ablation benchmarks. For a lazy index only the currently
+// resident (faulted-in) worlds count — that is the point of the format.
 func (x *Index) MemoryFootprint() int64 {
 	var total int64
-	for i := range x.entries {
-		e := &x.entries[i]
+	footprint := func(e *worldEntry) {
 		total += int64(len(e.comp))*4 + int64(len(e.memberOff))*4 + int64(len(e.members))*4
 		total += int64(len(e.dag)) * 24 // slice headers
 		for _, s := range e.dag {
 			total += int64(len(s)) * 4
 		}
+	}
+	if x.lazy != nil {
+		for i := range x.lazy.loaded {
+			if e := x.lazy.loaded[i].Load(); e != nil {
+				footprint(e)
+			}
+		}
+		total += int64(len(x.lazy.dir)) * (blockfile.EntrySize + 16)
+		return total
+	}
+	for i := range x.entries {
+		footprint(&x.entries[i])
 	}
 	return total
 }

@@ -39,9 +39,12 @@ import (
 // checkpoints its completed worlds in exactly the on-disk format.
 //
 // Version history: v01 ("SOIIDX01") is the same layout without the CRC
-// footer; Read still accepts it, Write always produces v02. The checksum
-// catches the corruption class the structural validators cannot: bit flips
-// that leave every count and id in range but silently change query results.
+// footer; v02 adds the whole-file CRC32-C footer. The checksum catches the
+// corruption class the structural validators cannot: bit flips that leave
+// every count and id in range but silently change query results. The
+// current write format is v03 (see v3.go), which splits the worlds into a
+// directory of independently checksummed blocks so the file can be
+// memory-mapped and served page-on-demand; Read accepts all three.
 
 var (
 	magicV1 = [8]byte{'S', 'O', 'I', 'I', 'D', 'X', '0', '1'}
@@ -129,37 +132,29 @@ func readEntry(br io.Reader, nodes uint32, world int) (worldEntry, error) {
 	return rebuildEntry(comp, int(comps), dag), nil
 }
 
-// WriteTo serializes the index in the v02 (checksummed) format.
+// WriteTo serializes the index in the current (v03, block-directory)
+// format. A lazily opened index must have every world readable: rewriting
+// an artifact with quarantined worlds would silently drop data, so that is
+// soifsck's job, not WriteTo's.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	h := crc32.New(castagnoli)
-	cw := &countingWriter{w: io.MultiWriter(bw, h)}
-	if err := binary.Write(cw, binary.LittleEndian, magicV2); err != nil {
-		return cw.n, err
-	}
-	if err := binary.Write(cw, binary.LittleEndian, uint32(x.g.NumNodes())); err != nil {
-		return cw.n, err
-	}
-	if err := binary.Write(cw, binary.LittleEndian, uint32(len(x.entries))); err != nil {
-		return cw.n, err
-	}
-	for i := range x.entries {
-		if err := writeEntry(cw, &x.entries[i]); err != nil {
-			return cw.n, err
+	ents := make([]*worldEntry, x.NumWorlds())
+	for i := range ents {
+		e := x.world(i)
+		if e == nil {
+			return 0, fmt.Errorf("index: world %d is quarantined or unreadable; repair the source file with soifsck before rewriting it", i)
 		}
+		ents[i] = e
 	}
-	// Footer: checksum of everything above, itself excluded.
-	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
-		return cw.n, err
-	}
-	return cw.n + 4, bw.Flush()
+	return writeV3(w, uint32(x.g.NumNodes()), ents)
 }
 
-// Read deserializes an index previously written with WriteTo. Both the
-// current v02 format (whose CRC32-C footer is verified) and the legacy v01
-// format (no checksum) are accepted. The graph g must be the same graph the
-// index was built from (node count is checked; deeper mismatches surface as
-// wrong query results, so callers should keep graph and index files paired).
+// Read deserializes an index previously written with WriteTo: the current
+// v03 block-directory format (directory, per-block, and whole-file CRCs all
+// verified — eager reads are strict, quarantine is OpenMmap's behavior),
+// the v02 format (whole-file CRC32-C footer), and the legacy v01 format (no
+// checksum). The graph g must be the same graph the index was built from
+// (node count is checked; deeper mismatches surface as wrong query results,
+// so callers should keep graph and index files paired).
 func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
@@ -175,6 +170,8 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		h = crc32.New(castagnoli)
 		h.Write(m[:]) // the writer hashed the magic too
 		body = io.TeeReader(br, h)
+	case magicV3:
+		return readV3(br, m, g)
 	default:
 		return nil, fmt.Errorf("index: bad magic %q", m[:])
 	}
@@ -191,9 +188,13 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		if sum := h.Sum32(); sum != stored {
 			return nil, fmt.Errorf("index: checksum mismatch: file carries %08x, payload hashes to %08x (corrupted index file)", stored, sum)
 		}
-		if _, err := br.ReadByte(); err != io.EOF {
-			return nil, fmt.Errorf("index: trailing data after checksum footer")
-		}
+	}
+	// Trailing bytes are rejected for every version, not just the
+	// checksummed ones: a longer-than-parsed file means the artifact and
+	// the reader disagree about its structure, which is corruption even
+	// when the parsed prefix happens to be self-consistent.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("index: trailing data after %d-world payload", x.NumWorlds())
 	}
 	return x, nil
 }
@@ -211,7 +212,6 @@ func readBody(br io.Reader, g *graph.Graph) (*Index, error) {
 	if err := binary.Read(br, binary.LittleEndian, &nWorlds); err != nil {
 		return nil, err
 	}
-	const maxWorlds = 1 << 24
 	if nWorlds == 0 || nWorlds > maxWorlds {
 		return nil, fmt.Errorf("index: implausible world count %d", nWorlds)
 	}

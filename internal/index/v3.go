@@ -1,0 +1,509 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"soi/internal/blockfile"
+	"soi/internal/checkpoint"
+	"soi/internal/fault"
+	"soi/internal/graph"
+	"soi/internal/telemetry"
+)
+
+// SOIIDX03: the block-structured index format (little endian).
+//
+//	magic    [8]byte  "SOIIDX03"
+//	nodes    uint32
+//	worlds   uint32
+//	dir      worlds × {off u64, len u32, crc u32, comps u32}   (blockfile entries)
+//	dirCRC   uint32   CRC32-C of every byte above (magic included)
+//	blocks   worlds contiguous world blocks, block i at dir[i].off,
+//	         each the writeEntry serialization of one world
+//	footer   uint32   CRC32-C of every preceding byte (v02-style whole-file sum)
+//
+// The directory-first layout is what lets OpenMmap serve queries without
+// deserializing the file: after verifying only header+directory (a few KB),
+// every world block can be faulted in, CRC-verified, and decoded
+// independently. The per-block CRC turns corruption from a fatal whole-file
+// property into a per-world one — a bad block quarantines that world and the
+// other ℓ-1 keep answering. The comps field mirrors the block's component
+// count so scratch sizing and NumComponents never touch the blocks.
+//
+// The eager Read path is strict (any corruption rejects the file, like v02);
+// quarantine-and-degrade is the OpenMmap serving behavior. The whole-file
+// footer exists for eager Read and soifsck; OpenMmap deliberately does not
+// verify it, since that would fault every page in and defeat lazy loading.
+
+var magicV3 = [8]byte{'S', 'O', 'I', 'I', 'D', 'X', '0', '3'}
+
+const (
+	v3HeaderLen = 8 + 4 + 4 // magic + nodes + worlds
+	v3FooterLen = 4
+	// maxWorlds bounds the header world count before any allocation trusts
+	// it (shared with the v01/v02 reader).
+	maxWorlds = 1 << 24
+)
+
+// v3BlocksStart is the offset of the first world block: header, directory,
+// directory CRC.
+func v3BlocksStart(worlds int) int64 {
+	return v3HeaderLen + int64(worlds)*blockfile.EntrySize + 4
+}
+
+// measureWriter sizes and checksums a serialization without storing it:
+// pass 1 of the two-pass v03 writer.
+type measureWriter struct {
+	h hash.Hash32
+	n int64
+}
+
+func (m *measureWriter) Write(p []byte) (int, error) {
+	m.h.Write(p)
+	m.n += int64(len(p))
+	return len(p), nil
+}
+
+// writeV3 streams the v03 serialization of the given worlds. It takes bare
+// entries rather than an *Index so soifsck can rewrite a repaired file
+// without the original graph. Two passes over the entries: the first
+// measures and checksums each block (writeEntry is deterministic), the
+// second streams the file — no block is ever buffered whole.
+func writeV3(w io.Writer, nodes uint32, entries []*worldEntry) (int64, error) {
+	dir := make([]blockfile.BlockInfo, len(entries))
+	off := v3BlocksStart(len(entries))
+	for i, e := range entries {
+		mw := &measureWriter{h: crc32.New(castagnoli)}
+		if err := writeEntry(mw, e); err != nil {
+			return 0, err
+		}
+		dir[i] = blockfile.BlockInfo{Off: off, Len: uint32(mw.n), CRC: mw.h.Sum32(), Aux: uint32(len(e.dag))}
+		off += mw.n
+	}
+
+	bw := bufio.NewWriter(w)
+	h := crc32.New(castagnoli)
+	cw := &countingWriter{w: io.MultiWriter(bw, h)}
+	if err := binary.Write(cw, binary.LittleEndian, magicV3); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, nodes); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return cw.n, err
+	}
+	dirBuf := make([]byte, 0, len(dir)*blockfile.EntrySize)
+	for _, b := range dir {
+		dirBuf = blockfile.AppendEntry(dirBuf, b)
+	}
+	if _, err := cw.Write(dirBuf); err != nil {
+		return cw.n, err
+	}
+	// h has hashed exactly the directory CRC's coverage at this point.
+	if err := binary.Write(cw, binary.LittleEndian, h.Sum32()); err != nil {
+		return cw.n, err
+	}
+	for _, e := range entries {
+		if err := writeEntry(cw, e); err != nil {
+			return cw.n, err
+		}
+	}
+	// Whole-file footer: everything above, itself excluded.
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return cw.n, err
+	}
+	return cw.n + v3FooterLen, bw.Flush()
+}
+
+// decodeBlock decodes one world block, requiring the record to consume the
+// block exactly.
+func decodeBlock(data []byte, nodes uint32, world int) (worldEntry, error) {
+	br := bytes.NewReader(data)
+	e, err := readEntry(br, nodes, world)
+	if err != nil {
+		return worldEntry{}, err
+	}
+	if br.Len() != 0 {
+		return worldEntry{}, fmt.Errorf("index: world %d: %d trailing bytes in block", world, br.Len())
+	}
+	return e, nil
+}
+
+// readV3 is the strict streaming reader behind Read: directory CRC, every
+// block CRC, structural decode, whole-file footer, and no trailing bytes.
+// The magic has already been consumed (and is re-fed to the hash here).
+func readV3(br *bufio.Reader, m [8]byte, g *graph.Graph) (*Index, error) {
+	h := crc32.New(castagnoli)
+	h.Write(m[:])
+	tee := io.TeeReader(br, h)
+
+	var nodes, nWorlds uint32
+	if err := binary.Read(tee, binary.LittleEndian, &nodes); err != nil {
+		return nil, fmt.Errorf("%w: index header: %v", blockfile.ErrTruncated, err)
+	}
+	if int(nodes) != g.NumNodes() {
+		return nil, fmt.Errorf("index: built for %d nodes, graph has %d", nodes, g.NumNodes())
+	}
+	if err := binary.Read(tee, binary.LittleEndian, &nWorlds); err != nil {
+		return nil, fmt.Errorf("%w: index header: %v", blockfile.ErrTruncated, err)
+	}
+	if nWorlds == 0 || nWorlds > maxWorlds {
+		return nil, fmt.Errorf("%w: implausible world count %d", blockfile.ErrCorrupt, nWorlds)
+	}
+
+	// The directory is read through a growing buffer rather than a trusted
+	// up-front allocation, so a forged world count fails at EOF instead of
+	// allocating hundreds of MB.
+	var dirBuf bytes.Buffer
+	if _, err := io.CopyN(&dirBuf, tee, int64(nWorlds)*blockfile.EntrySize); err != nil {
+		return nil, fmt.Errorf("%w: index directory: %v", blockfile.ErrTruncated, err)
+	}
+	dirSum := h.Sum32() // hash state covers exactly magic..directory here
+	var dirCRC uint32
+	if err := binary.Read(tee, binary.LittleEndian, &dirCRC); err != nil {
+		return nil, fmt.Errorf("%w: index directory checksum: %v", blockfile.ErrTruncated, err)
+	}
+	if dirCRC != dirSum {
+		return nil, fmt.Errorf("%w: directory checksum mismatch: file carries %08x, directory hashes to %08x", blockfile.ErrCorrupt, dirCRC, dirSum)
+	}
+	dir, err := blockfile.ParseDirectory(dirBuf.Bytes(), int(nWorlds))
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	if err := validateV3Dir(dir, nodes, -1); err != nil {
+		return nil, err
+	}
+
+	x := &Index{g: g, entries: make([]worldEntry, 0, min32u(nWorlds, 4096))}
+	var blk bytes.Buffer
+	for i, b := range dir {
+		blk.Reset()
+		if _, err := io.CopyN(&blk, tee, int64(b.Len)); err != nil {
+			return nil, fmt.Errorf("%w: world %d block: %v", blockfile.ErrTruncated, i, err)
+		}
+		if sum := blockfile.Checksum(blk.Bytes()); sum != b.CRC {
+			return nil, fmt.Errorf("%w: world %d block hashes to %08x, directory says %08x", blockfile.ErrCorrupt, i, sum, b.CRC)
+		}
+		e, err := decodeBlock(blk.Bytes(), nodes, i)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", blockfile.ErrCorrupt, err)
+		}
+		if uint32(len(e.dag)) != b.Aux {
+			return nil, fmt.Errorf("%w: world %d decodes to %d components, directory says %d", blockfile.ErrCorrupt, i, len(e.dag), b.Aux)
+		}
+		x.entries = append(x.entries, e)
+	}
+
+	fileSum := h.Sum32() // footer's coverage: everything read so far
+	var footer uint32
+	if err := binary.Read(br, binary.LittleEndian, &footer); err != nil {
+		return nil, fmt.Errorf("%w: index footer: %v", blockfile.ErrTruncated, err)
+	}
+	if footer != fileSum {
+		return nil, fmt.Errorf("%w: checksum mismatch: file carries %08x, payload hashes to %08x", blockfile.ErrCorrupt, footer, fileSum)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after checksum footer", blockfile.ErrCorrupt)
+	}
+	x.setDirFingerprint(dir)
+	return x, nil
+}
+
+// validateV3Dir applies the geometry and per-entry sanity checks shared by
+// the eager and mmap readers. fileSize < 0 skips the end-of-file check.
+func validateV3Dir(dir []blockfile.BlockInfo, nodes uint32, fileSize int64) error {
+	if err := blockfile.ValidateLayout(dir, v3BlocksStart(len(dir)), v3FooterLen, fileSize); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	for i, b := range dir {
+		if b.Aux == 0 || b.Aux > nodes {
+			return fmt.Errorf("%w: world %d has implausible component count %d", blockfile.ErrCorrupt, i, b.Aux)
+		}
+		// A world block is at least: comps word, comp array, one degree word
+		// per component.
+		if min := 4 + 4*int64(nodes) + 4*int64(b.Aux); int64(b.Len) < min {
+			return fmt.Errorf("%w: world %d block is %d bytes, minimum for %d components is %d", blockfile.ErrCorrupt, i, b.Len, b.Aux, min)
+		}
+	}
+	return nil
+}
+
+// setDirFingerprint installs the directory-derived content fingerprint. For
+// v03 files the fingerprint hashes the graph plus the block directory
+// (offset, length, CRC, comps per world) instead of the decoded entries, so
+// eager and mmap loads of the same file agree — and an mmap open never has
+// to fault every block in just to fingerprint itself. The per-block CRCs
+// make this exactly as content-sensitive as hashing the worlds.
+func (x *Index) setDirFingerprint(dir []blockfile.BlockInfo) {
+	x.fpOnce.Do(func() {
+		h := checkpoint.NewHasher().String("index.DirV3").Graph(x.g).Int(len(dir))
+		for _, b := range dir {
+			h.Uint64(uint64(b.Off)).
+				Uint64(uint64(b.Len)<<32 | uint64(b.CRC)).
+				Uint64(uint64(b.Aux))
+		}
+		x.fp = h.Sum()
+	})
+}
+
+// ErrVersion is returned by OpenMmap for a readable index in a pre-v03
+// format, which has no block directory to serve from.
+var ErrVersion = errors.New("index: not a SOIIDX03 file")
+
+// MmapOptions configures OpenMmap.
+type MmapOptions struct {
+	// MaxResident bounds how many decoded world blocks are kept in memory at
+	// once; faulting in past the bound evicts the oldest (FIFO). 0 means
+	// unbounded — every block faulted in stays resident.
+	MaxResident int
+	// Telemetry, if non-nil, receives index.block_faults and
+	// index.worlds_quarantined counters (and is attached to the index).
+	Telemetry *telemetry.Registry
+	// OnQuarantine, if non-nil, is called once per quarantined world with
+	// the world id and the corruption error, from whichever query goroutine
+	// first faulted the bad block in.
+	OnQuarantine func(world int, err error)
+}
+
+// lazyWorlds is the page-on-demand backing of an mmap-opened index: the
+// verified directory plus a per-world cache of decoded blocks. Fault-in is
+// lock-free (atomic pointer CAS; concurrent faulters race benignly and the
+// losers' decodes are discarded); only the optional eviction FIFO takes a
+// lock, off the cache-hit path.
+type lazyWorlds struct {
+	win    *blockfile.Window
+	nodes  uint32
+	dir    []blockfile.BlockInfo
+	loaded []atomic.Pointer[worldEntry]
+
+	quar    []atomic.Bool
+	nQuar   atomic.Int64
+	onQuar  func(world int, err error)
+	faults  *telemetry.Counter // index.block_faults
+	quarCtr *telemetry.Counter // index.worlds_quarantined
+
+	maxResident int
+	mu          sync.Mutex
+	resident    []int // FIFO of faulted-in world ids (maxResident > 0 only)
+}
+
+// OpenMmap opens a v03 index file for page-on-demand serving: only the
+// header and block directory are read and verified now; world blocks are
+// faulted in, CRC-checked, and decoded on first query touch. A block that
+// fails its checksum or decode is quarantined — counted, reported through
+// OnQuarantine, and never retried — and queries degrade to the surviving
+// worlds instead of failing. Truncated or torn files are rejected here,
+// from the directory, before any block is trusted.
+//
+// v01/v02 files are rejected with ErrVersion (they have no directory to
+// serve from); rewrite them with `sphere -index old -build-index new`.
+func OpenMmap(path string, g *graph.Graph, opts MmapOptions) (*Index, error) {
+	win, err := blockfile.OpenWindow(path)
+	if err != nil {
+		return nil, err
+	}
+	x, err := openWindow(win, g, opts)
+	if err != nil {
+		win.Close()
+		return nil, err
+	}
+	return x, nil
+}
+
+func openWindow(win *blockfile.Window, g *graph.Graph, opts MmapOptions) (*Index, error) {
+	if err := fault.Hit(fault.IndexDirLoad); err != nil {
+		return nil, fmt.Errorf("index: directory load: %w", err)
+	}
+	magic, err := win.Range(0, 8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: index header: %v", blockfile.ErrTruncated, err)
+	}
+	switch {
+	case bytes.Equal(magic, magicV3[:]):
+	case bytes.Equal(magic, magicV1[:]), bytes.Equal(magic, magicV2[:]):
+		return nil, fmt.Errorf("%w (file is %s; rewrite it with `sphere -graph g.tsv -index old.idx -build-index new.idx`)", ErrVersion, magic)
+	default:
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	hdr, err := win.Range(8, 8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: index header: %v", blockfile.ErrTruncated, err)
+	}
+	nodes := binary.LittleEndian.Uint32(hdr)
+	nWorlds := binary.LittleEndian.Uint32(hdr[4:])
+	if int(nodes) != g.NumNodes() {
+		return nil, fmt.Errorf("index: built for %d nodes, graph has %d", nodes, g.NumNodes())
+	}
+	if nWorlds == 0 || nWorlds > maxWorlds {
+		return nil, fmt.Errorf("%w: implausible world count %d", blockfile.ErrCorrupt, nWorlds)
+	}
+
+	dirLen := int64(nWorlds) * blockfile.EntrySize
+	dirBytes, err := win.Range(v3HeaderLen, dirLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: index directory: %v", blockfile.ErrTruncated, err)
+	}
+	crcBytes, err := win.Range(v3HeaderLen+dirLen, 4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: index directory checksum: %v", blockfile.ErrTruncated, err)
+	}
+	covered, _ := win.Range(0, v3HeaderLen+dirLen)
+	if dirCRC, sum := binary.LittleEndian.Uint32(crcBytes), blockfile.Checksum(covered); dirCRC != sum {
+		return nil, fmt.Errorf("%w: directory checksum mismatch: file carries %08x, directory hashes to %08x", blockfile.ErrCorrupt, dirCRC, sum)
+	}
+	dir, err := blockfile.ParseDirectory(dirBytes, int(nWorlds))
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	if err := validateV3Dir(dir, nodes, win.Size()); err != nil {
+		return nil, err
+	}
+
+	lz := &lazyWorlds{
+		win:         win,
+		nodes:       nodes,
+		dir:         dir,
+		loaded:      make([]atomic.Pointer[worldEntry], nWorlds),
+		quar:        make([]atomic.Bool, nWorlds),
+		onQuar:      opts.OnQuarantine,
+		faults:      opts.Telemetry.Counter("index.block_faults"),
+		quarCtr:     opts.Telemetry.Counter("index.worlds_quarantined"),
+		maxResident: opts.MaxResident,
+	}
+	x := &Index{g: g, lazy: lz, tel: opts.Telemetry}
+	x.setDirFingerprint(dir)
+	return x, nil
+}
+
+// world returns world i, faulting its block in on first touch; nil means
+// the world is quarantined.
+func (lz *lazyWorlds) world(i int) *worldEntry {
+	if lz.quar[i].Load() {
+		return nil
+	}
+	if e := lz.loaded[i].Load(); e != nil {
+		return e
+	}
+	if err := fault.Hit(fault.IndexBlockFault); err != nil {
+		return lz.quarantine(i, fmt.Errorf("index: world %d fault-in: %w", i, err))
+	}
+	b := lz.dir[i]
+	data, err := lz.win.ReadVerified(b.Off, b.Len, b.CRC)
+	if err != nil {
+		return lz.quarantine(i, fmt.Errorf("index: world %d: %w", i, err))
+	}
+	e, err := decodeBlock(data, lz.nodes, i)
+	if err == nil && uint32(len(e.dag)) != b.Aux {
+		err = fmt.Errorf("world %d decodes to %d components, directory says %d", i, len(e.dag), b.Aux)
+	}
+	if err != nil {
+		return lz.quarantine(i, fmt.Errorf("index: %w: %v", blockfile.ErrCorrupt, err))
+	}
+	lz.faults.Inc()
+	ep := &e
+	if !lz.loaded[i].CompareAndSwap(nil, ep) {
+		// A concurrent faulter won; use its copy (unless eviction already
+		// cleared it again, in which case ours is as good as any).
+		if cur := lz.loaded[i].Load(); cur != nil {
+			return cur
+		}
+		lz.loaded[i].Store(ep)
+	}
+	lz.noteResident(i)
+	return ep
+}
+
+// quarantine marks world i bad exactly once: the counter, telemetry, and
+// callback fire only for the winning caller. Quarantine is one-way — the
+// block is never retried hot (the bytes will not get better; soifsck is the
+// repair path).
+func (lz *lazyWorlds) quarantine(i int, err error) *worldEntry {
+	if lz.quar[i].CompareAndSwap(false, true) {
+		lz.nQuar.Add(1)
+		lz.quarCtr.Inc()
+		if lz.onQuar != nil {
+			lz.onQuar(i, err)
+		}
+	}
+	return nil
+}
+
+// noteResident does the FIFO-eviction bookkeeping after a successful
+// fault-in. Evicted pointers are Store(nil)-ed; readers already holding the
+// pointer keep a valid entry (the GC, not the cache, owns lifetime).
+func (lz *lazyWorlds) noteResident(i int) {
+	if lz.maxResident <= 0 {
+		return
+	}
+	lz.mu.Lock()
+	lz.resident = append(lz.resident, i)
+	for len(lz.resident) > lz.maxResident {
+		old := lz.resident[0]
+		lz.resident = lz.resident[1:]
+		if old != i {
+			lz.loaded[old].Store(nil)
+		}
+	}
+	lz.mu.Unlock()
+}
+
+// LiveWorlds returns the number of worlds still answering queries:
+// NumWorlds minus quarantined. Estimators divide by this, so quarantine
+// shrinks the sample instead of biasing it with empty cascades.
+func (x *Index) LiveWorlds() int {
+	if x.lazy != nil {
+		return len(x.lazy.dir) - int(x.lazy.nQuar.Load())
+	}
+	return len(x.entries)
+}
+
+// QuarantinedWorlds returns how many worlds have been quarantined so far
+// (0 for eagerly loaded indexes, which reject corruption at load).
+func (x *Index) QuarantinedWorlds() int {
+	if x.lazy != nil {
+		return int(x.lazy.nQuar.Load())
+	}
+	return 0
+}
+
+// Lazy reports whether the index serves blocks on demand from a file window
+// (an OpenMmap index) rather than from decoded-up-front entries.
+func (x *Index) Lazy() bool { return x.lazy != nil }
+
+// Mapped reports whether a lazy index is backed by a real memory mapping
+// (false: eager index, or the heap-buffered fallback platform).
+func (x *Index) Mapped() bool { return x.lazy != nil && x.lazy.win.Mapped() }
+
+// ResidentWorlds returns how many world blocks are currently decoded in
+// memory. For an eager index this is every world.
+func (x *Index) ResidentWorlds() int {
+	if x.lazy == nil {
+		return len(x.entries)
+	}
+	n := 0
+	for i := range x.lazy.loaded {
+		if x.lazy.loaded[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Close releases the file window of an OpenMmap index. Queries after Close
+// on not-yet-resident worlds will quarantine them (the window is gone);
+// close only after the last query. Eager indexes have nothing to release.
+func (x *Index) Close() error {
+	if x.lazy == nil {
+		return nil
+	}
+	return x.lazy.win.Close()
+}

@@ -1,0 +1,367 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soi/internal/blockfile"
+	"soi/internal/fault"
+	"soi/internal/graph"
+	"soi/internal/telemetry"
+)
+
+// v3Fixture builds an index, serializes it to a v03 file, and returns the
+// index, the file path, and the raw bytes.
+func v3Fixture(t testing.TB, seed uint64, samples int) (*graph.Graph, *Index, string, []byte) {
+	t.Helper()
+	g := randomGraph(t, seed, 25, 90)
+	x, err := Build(g, Options{Samples: samples, Seed: seed + 1, TransitiveReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "idx.v3")
+	if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return g, x, p, buf.Bytes()
+}
+
+// sameCascades asserts a and b answer every (node, world) cascade query
+// identically.
+func sameCascades(t *testing.T, g *graph.Graph, a, b *Index) {
+	t.Helper()
+	if a.NumWorlds() != b.NumWorlds() {
+		t.Fatalf("world counts differ: %d vs %d", a.NumWorlds(), b.NumWorlds())
+	}
+	sa, sb := a.NewScratch(), b.NewScratch()
+	for w := 0; w < a.NumWorlds(); w++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			ca := a.Cascade(graph.NodeID(v), w, sa, nil)
+			cb := b.Cascade(graph.NodeID(v), w, sb, nil)
+			if !equal(ca, cb) {
+				t.Fatalf("world %d node %d: cascades differ", w, v)
+			}
+		}
+	}
+}
+
+func TestV3RoundTrip(t *testing.T) {
+	g, x, _, raw := v3Fixture(t, 201, 5)
+	loaded, err := Read(bytes.NewReader(raw), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCascades(t, g, x, loaded)
+	// Serialization is deterministic: re-writing reproduces the bytes.
+	var again bytes.Buffer
+	if _, err := loaded.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), raw) {
+		t.Fatal("v03 round trip is not bit-identical")
+	}
+}
+
+func TestOpenMmapMatchesEagerRead(t *testing.T) {
+	g, x, p, _ := v3Fixture(t, 211, 5)
+	lz, err := OpenMmap(p, g, MmapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if !lz.Lazy() {
+		t.Fatal("OpenMmap index does not report Lazy")
+	}
+	if !lz.Mapped() {
+		t.Fatal("OpenMmap index does not report Mapped on this platform")
+	}
+	if x.Lazy() || x.Mapped() {
+		t.Fatal("eager index reports Lazy/Mapped")
+	}
+	if lz.ResidentWorlds() != 0 {
+		t.Fatalf("freshly opened index has %d resident worlds, want 0", lz.ResidentWorlds())
+	}
+	sameCascades(t, g, x, lz)
+	if q := lz.QuarantinedWorlds(); q != 0 {
+		t.Fatalf("clean file quarantined %d worlds", q)
+	}
+	if lz.LiveWorlds() != lz.NumWorlds() {
+		t.Fatalf("LiveWorlds %d != NumWorlds %d on a clean file", lz.LiveWorlds(), lz.NumWorlds())
+	}
+	// NumComponents comes from the directory and must agree with the entry.
+	for i := 0; i < x.NumWorlds(); i++ {
+		if lz.NumComponents(i) != x.NumComponents(i) {
+			t.Fatalf("world %d: NumComponents %d (mmap) vs %d (eager)", i, lz.NumComponents(i), x.NumComponents(i))
+		}
+	}
+	// Fingerprints of the same file agree across load modes, without the
+	// mmap load having to fault anything extra in.
+	eager, err := LoadFile(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.Fingerprint() != lz.Fingerprint() {
+		t.Fatal("eager and mmap fingerprints of the same v03 file differ")
+	}
+}
+
+func TestOpenMmapQuarantinesCorruptBlock(t *testing.T) {
+	g, x, p, raw := v3Fixture(t, 221, 6)
+	// Flip one byte in world 2's block.
+	worlds := x.NumWorlds()
+	dir, err := blockfile.ParseDirectory(raw[v3HeaderLen:v3HeaderLen+worlds*blockfile.EntrySize], worlds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[dir[2].Off+int64(dir[2].Len)/2] ^= 0x40
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := telemetry.New()
+	var quarWorld int
+	quarCalls := 0
+	lz, err := OpenMmap(p, g, MmapOptions{
+		Telemetry:    tel,
+		OnQuarantine: func(w int, err error) { quarWorld, quarCalls = w, quarCalls+1 },
+	})
+	if err != nil {
+		t.Fatalf("open of a block-corrupt file must succeed (degrade, not fail): %v", err)
+	}
+	defer lz.Close()
+
+	s := lz.NewScratch()
+	var liveCascades int
+	for i := 0; i < lz.NumWorlds(); i++ {
+		if c := lz.Cascade(0, i, s, nil); len(c) > 0 {
+			liveCascades++
+		}
+	}
+	if quarCalls != 1 || quarWorld != 2 {
+		t.Fatalf("quarantine callback: %d calls, world %d; want 1 call for world 2", quarCalls, quarWorld)
+	}
+	if lz.QuarantinedWorlds() != 1 || lz.LiveWorlds() != worlds-1 {
+		t.Fatalf("quarantined=%d live=%d, want 1 and %d", lz.QuarantinedWorlds(), lz.LiveWorlds(), worlds-1)
+	}
+	if got := tel.Counter("index.worlds_quarantined").Value(); got != 1 {
+		t.Fatalf("index.worlds_quarantined = %d, want 1", got)
+	}
+	// Surviving worlds answer identically to the eager index.
+	sx := x.NewScratch()
+	for i := 0; i < worlds; i++ {
+		if i == 2 {
+			continue
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if !equal(lz.Cascade(graph.NodeID(v), i, s, nil), x.Cascade(graph.NodeID(v), i, sx, nil)) {
+				t.Fatalf("world %d node %d: surviving cascade differs from eager", i, v)
+			}
+		}
+	}
+	// Sample collections skip the quarantined world rather than padding it.
+	if cs := lz.Cascades(0, s); len(cs) != worlds-1 {
+		t.Fatalf("Cascades returned %d samples, want %d", len(cs), worlds-1)
+	}
+	// Quarantine is sticky: repeated touches never re-fire the callback.
+	_ = lz.Cascade(0, 2, s, nil)
+	if quarCalls != 1 {
+		t.Fatalf("quarantine re-fired: %d calls", quarCalls)
+	}
+	// An index with quarantined worlds refuses to re-serialize.
+	if _, err := lz.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTo of a quarantined index succeeded; it would silently drop worlds")
+	}
+	_ = liveCascades
+}
+
+// TestOpenMmapEveryBitFlip flips every bit of a small v03 file and asserts
+// the trichotomy the format promises for the lazy loader: a flip before the
+// blocks (header/directory) fails the open with a typed error, a flip
+// inside a block quarantines exactly that world (queries keep working), and
+// a flip in the whole-file footer — which the lazy path deliberately does
+// not read — changes nothing. Never a panic, never a wrong cascade.
+func TestOpenMmapEveryBitFlip(t *testing.T) {
+	g, x, _, raw := v3Fixture(t, 231, 2)
+	worlds := x.NumWorlds()
+	blocksStart := v3BlocksStart(worlds)
+	dir, err := blockfile.ParseDirectory(raw[v3HeaderLen:v3HeaderLen+worlds*blockfile.EntrySize], worlds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worldAt := func(off int64) int {
+		for i, b := range dir {
+			if off >= b.Off && off < b.Off+int64(b.Len) {
+				return i
+			}
+		}
+		return -1
+	}
+	dirFile := t.TempDir()
+	p := filepath.Join(dirFile, "flip.v3")
+	s := x.NewScratch()
+	for pos := range raw {
+		for bit := 0; bit < 8; bit++ {
+			data := append([]byte(nil), raw...)
+			data[pos] ^= 1 << bit
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			lz, err := OpenMmap(p, g, MmapOptions{})
+			switch {
+			case int64(pos) < blocksStart:
+				if err == nil {
+					lz.Close()
+					t.Fatalf("flip in header/directory (byte %d bit %d) was accepted", pos, bit)
+				}
+				continue
+			case err != nil:
+				t.Fatalf("flip at byte %d bit %d failed the open: %v", pos, bit, err)
+			}
+			for i := 0; i < worlds; i++ {
+				_ = lz.Cascade(0, i, s, nil)
+			}
+			want := 0
+			if w := worldAt(int64(pos)); w >= 0 {
+				want = 1
+				if q := lz.QuarantinedWorlds(); q != 1 {
+					lz.Close()
+					t.Fatalf("flip in block %d (byte %d bit %d): quarantined %d worlds, want 1", w, pos, bit, q)
+				}
+			}
+			if q := lz.QuarantinedWorlds(); q != want {
+				lz.Close()
+				t.Fatalf("flip at byte %d bit %d: quarantined %d worlds, want %d", pos, bit, q, want)
+			}
+			lz.Close()
+		}
+	}
+}
+
+// TestV3TruncationEveryBoundary truncates a v03 file at every structural
+// boundary (and one byte either side of each) and requires both readers to
+// reject it with a typed truncation/corruption error — the directory makes
+// torn files detectable before any block is trusted.
+func TestV3TruncationEveryBoundary(t *testing.T) {
+	g, x, _, raw := v3Fixture(t, 241, 4)
+	worlds := x.NumWorlds()
+	dir, err := blockfile.ParseDirectory(raw[v3HeaderLen:v3HeaderLen+worlds*blockfile.EntrySize], worlds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := []int64{0, 8, 12, v3HeaderLen, v3BlocksStart(worlds) - 4}
+	for _, b := range dir {
+		boundaries = append(boundaries, b.Off, b.Off+int64(b.Len))
+	}
+	boundaries = append(boundaries, int64(len(raw))-4)
+	p := filepath.Join(t.TempDir(), "trunc.v3")
+	for _, b := range boundaries {
+		for _, cut := range []int64{b - 1, b, b + 1} {
+			if cut < 0 || cut >= int64(len(raw)) {
+				continue
+			}
+			data := raw[:cut]
+			if _, err := Read(bytes.NewReader(data), g); err == nil {
+				t.Fatalf("eager Read accepted a file truncated at byte %d", cut)
+			}
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			lz, err := OpenMmap(p, g, MmapOptions{})
+			if err == nil {
+				lz.Close()
+				t.Fatalf("OpenMmap accepted a file truncated at byte %d", cut)
+			}
+			if !errors.Is(err, blockfile.ErrTruncated) && !errors.Is(err, blockfile.ErrCorrupt) {
+				t.Fatalf("truncation at byte %d: untyped error %v", cut, err)
+			}
+		}
+	}
+}
+
+func TestOpenMmapRejectsLegacyVersions(t *testing.T) {
+	g := randomGraph(t, 251, 12, 40)
+	x, err := Build(g, Options{Samples: 2, Seed: 252})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "old.idx")
+	for _, magic := range [][8]byte{magicV1, magicV2} {
+		if err := os.WriteFile(p, writeLegacy(t, x, magic, magic == magicV2), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenMmap(p, g, MmapOptions{})
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("%s: err = %v, want ErrVersion", magic[:], err)
+		}
+	}
+}
+
+func TestOpenMmapFailpoints(t *testing.T) {
+	g, _, p, _ := v3Fixture(t, 261, 3)
+	fault.SetActive(true)
+	defer fault.SetActive(false)
+
+	// A directory-load failure fails the open outright.
+	if err := fault.Enable(fault.IndexDirLoad, fault.Failpoint{Kind: fault.KindError}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMmap(p, g, MmapOptions{}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("armed dirload: err = %v, want injected", err)
+	}
+	fault.Disable(fault.IndexDirLoad)
+
+	// A block fault-in failure quarantines exactly the world whose fault-in
+	// hit it, like real corruption.
+	if err := fault.Enable(fault.IndexBlockFault, fault.Failpoint{Kind: fault.KindError, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lz, err := OpenMmap(p, g, MmapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	s := lz.NewScratch()
+	for i := 0; i < lz.NumWorlds(); i++ {
+		_ = lz.Cascade(0, i, s, nil)
+	}
+	if lz.QuarantinedWorlds() != 1 {
+		t.Fatalf("quarantined %d worlds, want exactly the one whose fault-in was failed", lz.QuarantinedWorlds())
+	}
+	if lz.LiveWorlds() != lz.NumWorlds()-1 {
+		t.Fatalf("LiveWorlds = %d, want %d", lz.LiveWorlds(), lz.NumWorlds()-1)
+	}
+}
+
+func TestOpenMmapMaxResident(t *testing.T) {
+	g, x, p, _ := v3Fixture(t, 271, 8)
+	lz, err := OpenMmap(p, g, MmapOptions{MaxResident: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	s := lz.NewScratch()
+	sx := x.NewScratch()
+	// Sweep all worlds twice: eviction must never change answers, and the
+	// resident set must respect the bound after every touch.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lz.NumWorlds(); i++ {
+			if !equal(lz.Cascade(0, i, s, nil), x.Cascade(0, i, sx, nil)) {
+				t.Fatalf("pass %d world %d: cascade differs after eviction churn", pass, i)
+			}
+			if r := lz.ResidentWorlds(); r > 3 {
+				t.Fatalf("resident worlds %d exceeds MaxResident 3", r)
+			}
+		}
+	}
+	if q := lz.QuarantinedWorlds(); q != 0 {
+		t.Fatalf("eviction churn quarantined %d worlds", q)
+	}
+}

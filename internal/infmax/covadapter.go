@@ -21,7 +21,7 @@ func newCovAdapter(x *index.Index) *covAdapter {
 		cov: x.NewCoverage(),
 		s:   x.NewScratch(),
 		s2:  x.NewScratch(),
-		ell: float64(x.NumWorlds()),
+		ell: float64(x.LiveWorlds()),
 	}
 }
 

@@ -270,7 +270,9 @@ func Random(g *graph.Graph, k int, seed uint64) (Selection, error) {
 // sharedIndexGain adapts an index.Coverage to the greedy callbacks,
 // converting node-slot units to expected-spread units.
 func sharedIndexGain(x *index.Index, cov *index.Coverage, s *index.Scratch) (gain, commit func(graph.NodeID) float64) {
-	ell := float64(x.NumWorlds())
+	// Quarantined worlds contribute no gain, so the live count is the
+	// denominator that keeps estimates unbiased over the surviving sample.
+	ell := float64(x.LiveWorlds())
 	gain = func(v graph.NodeID) float64 {
 		return float64(cov.MarginalGain(v, s)) / ell
 	}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -476,11 +478,43 @@ func (r *Router) doGET(ctx context.Context, url string) attemptOut {
 		return attemptOut{err: err}
 	}
 	out := attemptOut{status: resp.StatusCode, body: body}
-	var env server.ErrorEnvelope
-	if resp.StatusCode >= 400 && json.Unmarshal(body, &env) == nil && env.Error.RetryAfterMS > 0 {
-		out.retryAfter = time.Duration(env.Error.RetryAfterMS) * time.Millisecond
+	if resp.StatusCode >= 400 {
+		// Backoff hints arrive on two channels: the soi JSON envelope's
+		// retry_after_ms and the standard Retry-After header (which is all a
+		// proxy or non-soi backend in front of a shard can set). Honor
+		// whichever asks for the longer wait.
+		var env server.ErrorEnvelope
+		if json.Unmarshal(body, &env) == nil && env.Error.RetryAfterMS > 0 {
+			out.retryAfter = time.Duration(env.Error.RetryAfterMS) * time.Millisecond
+		}
+		if h := parseRetryAfter(resp.Header.Get("Retry-After"), r.now()); h > out.retryAfter {
+			out.retryAfter = h
+		}
 	}
 	return out
+}
+
+// parseRetryAfter interprets an HTTP Retry-After value, which RFC 9110
+// allows in two shapes: delta-seconds ("3") or an HTTP-date ("Mon, 02 Jan
+// 2006 15:04:05 GMT", relative to now). Absent, unparseable, or
+// already-past values yield 0 (no hint).
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // backoff sleeps the full-jitter exponential backoff for the given attempt

@@ -447,3 +447,66 @@ func TestSubQueryIsDeterministic(t *testing.T) {
 		t.Fatalf("subQuery %q lost parameters", q1)
 	}
 }
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 1, 2, 15, 4, 5, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{" 10 ", 10 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"soon", 0},
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
+		{now.Add(-30 * time.Second).Format(http.TimeFormat), 0}, // already past
+	} {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHeaderHonored scripts a backend that signals backoff only
+// through the standard Retry-After header — the one channel a proxy or
+// non-soi origin in front of a shard has — and asserts the attempt surfaces
+// the hint. No sleeping: the test inspects attemptOut, not the backoff.
+func TestRetryAfterHeaderHonored(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Query().Get("mode") {
+		case "delta":
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+		case "date":
+			w.Header().Set("Retry-After", time.Now().Add(90*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, "busy", http.StatusTooManyRequests)
+		case "both":
+			// Envelope says 250ms, header says 2s: the longer wait wins.
+			w.Header().Set("Retry-After", "2")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"overloaded","message":"queue full","retry_after_ms":250}}`)
+		case "garbage":
+			w.Header().Set("Retry-After", "in a bit")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+		}
+	}))
+	defer ts.Close()
+	r := newTestRouter(t, nil, []string{ts.URL}, []string{ts.URL})
+
+	if out := r.doGET(context.Background(), ts.URL+"/?mode=delta"); out.retryAfter != 3*time.Second {
+		t.Fatalf("delta-seconds: retryAfter %v, want 3s", out.retryAfter)
+	}
+	out := r.doGET(context.Background(), ts.URL+"/?mode=date")
+	if out.retryAfter < 60*time.Second || out.retryAfter > 91*time.Second {
+		t.Fatalf("HTTP-date: retryAfter %v, want ~90s", out.retryAfter)
+	}
+	if out := r.doGET(context.Background(), ts.URL+"/?mode=both"); out.retryAfter != 2*time.Second {
+		t.Fatalf("header vs envelope: retryAfter %v, want the larger 2s", out.retryAfter)
+	}
+	if out := r.doGET(context.Background(), ts.URL+"/?mode=garbage"); out.retryAfter != 0 {
+		t.Fatalf("garbage header: retryAfter %v, want 0", out.retryAfter)
+	}
+}

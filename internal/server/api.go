@@ -13,6 +13,13 @@
 // wall-clock budgets mapped onto the checkpoint Budget machinery — a budget
 // that truncates sampling yields HTTP 206 with the achieved sample count and
 // a Theorem-2-style error bound instead of an error.
+//
+// Degraded indexes get the same treatment: when a memory-mapped index has
+// quarantined corrupt world blocks, estimates cover only the surviving
+// worlds, so index-backed endpoints answer 206 with worlds_used /
+// worlds_quarantined and a Hoeffding bound re-derived at the live world
+// count. An index that has lost every world answers 503 with a retryable
+// code so the gateway fails over to a healthy replica.
 package server
 
 import "soi/internal/checkpoint"
@@ -29,8 +36,15 @@ type partialInfo struct {
 	// Requested is the number of samples the request asked for.
 	Requested int `json:"requested,omitempty"`
 	// ErrorBound is the additive error bound at the achieved sample count,
-	// in the same units as the estimate it annotates.
+	// in the same units as the estimate it annotates. When both budget
+	// truncation and quarantine degraded the answer, the two bounds sum (a
+	// conservative union bound).
 	ErrorBound float64 `json:"error_bound,omitempty"`
+	// WorldsUsed / WorldsQuarantined report index degradation: corrupt world
+	// blocks quarantined by the memory-mapped loader drop out of every
+	// estimate, which then covers only WorldsUsed of the index's worlds.
+	WorldsUsed        int `json:"worlds_used,omitempty"`
+	WorldsQuarantined int `json:"worlds_quarantined,omitempty"`
 }
 
 func partialOf(pe *checkpoint.PartialError, scale float64) partialInfo {
@@ -45,6 +59,27 @@ func partialOf(pe *checkpoint.PartialError, scale float64) partialInfo {
 	}
 }
 
+// mergePartial combines a budget-truncation annotation with a
+// quarantine-degradation annotation: either alone makes the response
+// partial, and their additive error bounds sum.
+func mergePartial(budget, quarantine partialInfo) partialInfo {
+	out := budget
+	out.Partial = budget.Partial || quarantine.Partial
+	out.ErrorBound = budget.ErrorBound + quarantine.ErrorBound
+	out.WorldsUsed = quarantine.WorldsUsed
+	out.WorldsQuarantined = quarantine.WorldsQuarantined
+	return out
+}
+
+// partialStatus maps an annotation to its HTTP status: 206 for any partial
+// answer, 200 otherwise.
+func partialStatus(p partialInfo) int {
+	if p.Partial {
+		return 206
+	}
+	return 200
+}
+
 // Error codes carried by every non-2xx /v1 response. They are the machine
 // contract: the soigw router decides retryable-vs-permanent from the code,
 // never by matching message strings.
@@ -56,6 +91,7 @@ const (
 	CodeBudget     = "budget_too_small" // budget expired before any result; retry with a larger budget
 	CodeDraining   = "draining"         // daemon is shutting down; fail over to a replica
 	CodeLoading    = "loading"          // daemon is still loading artifacts; retry shortly
+	CodeDegraded   = "degraded"         // index lost every world to quarantine; fail over to a replica
 	CodeCanceled   = "canceled"         // client went away mid-request
 	CodeInternal   = "internal"         // unexpected server-side failure
 )
@@ -64,7 +100,7 @@ const (
 // retrying (possibly against another replica) without changing the request.
 func RetryableCode(code string) bool {
 	switch code {
-	case CodeOverloaded, CodeDraining, CodeLoading:
+	case CodeOverloaded, CodeDraining, CodeLoading, CodeDegraded:
 		return true
 	}
 	return false
@@ -179,6 +215,7 @@ type modesResponse struct {
 	K                  int        `json:"k"`
 	Modes              []modeJSON `json:"modes"`
 	TakeoffProbability float64    `json:"takeoff_probability"`
+	partialInfo
 }
 
 // infoResponse answers GET /v1/info.
@@ -186,6 +223,13 @@ type infoResponse struct {
 	Nodes  int `json:"nodes"`
 	Edges  int `json:"edges"`
 	Worlds int `json:"worlds"`
+	// WorldsQuarantined counts index world blocks quarantined for corruption
+	// (always present, normally 0 — a non-zero value means the index file
+	// needs soifsck and answers are 206-degraded).
+	WorldsQuarantined int `json:"worlds_quarantined"`
+	// Mmap is true when the index serves page-on-demand from a mapped file
+	// rather than an eager in-memory load.
+	Mmap bool `json:"mmap"`
 	// GraphFingerprint and IndexFingerprint identify the loaded artifacts
 	// (soi.Fingerprint / Index.Fingerprint, %016x); clients validate that
 	// they are talking to the dataset they think they are.

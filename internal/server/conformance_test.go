@@ -1,6 +1,7 @@
 package server
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -48,6 +49,28 @@ func conformanceServer(t testing.TB) (*Server, *graph.Graph, []core.Result) {
 		if err != nil {
 			confErr = err
 			return
+		}
+		// SOI_INDEX_MMAP=1 runs the whole conformance suite against the lazy
+		// memory-mapped loader instead of the in-memory index: a serialize →
+		// mmap → page-on-demand round trip must be statistically
+		// indistinguishable from the index it serializes.
+		if os.Getenv("SOI_INDEX_MMAP") == "1" {
+			f, err := os.CreateTemp("", "soi-conf-*.idx")
+			if err != nil {
+				confErr = err
+				return
+			}
+			f.Close()
+			if confErr = x.SaveFile(f.Name()); confErr != nil {
+				return
+			}
+			mx, err := index.OpenMmap(f.Name(), g, index.MmapOptions{})
+			os.Remove(f.Name()) // the mapping outlives the directory entry
+			if err != nil {
+				confErr = err
+				return
+			}
+			x = mx
 		}
 		spheres := core.ComputeAll(x, core.Options{CostSamples: 200, CostSeed: 91})
 		confSrv, confErr = New(Config{

@@ -36,6 +36,41 @@ func statusFor(pe *checkpoint.PartialError) int {
 	return http.StatusOK
 }
 
+// quarantinePartial annotates answers computed over a degraded index. The
+// memory-mapped loader quarantines corrupt world blocks at fault-in time, so
+// this must run after the compute it annotates: by then every world the query
+// touched is either loaded or quarantined. With q of ℓ worlds quarantined the
+// estimate is an average over the ℓ-q survivors, so the Hoeffding bound is
+// re-derived at the live count (checkpoint.ErrorBound) and scaled to the
+// estimate's units — exactly how budget truncation is surfaced, and the two
+// compose by summing bounds (mergePartial). An index that has lost every
+// world cannot answer at all: that is a retryable 503 (CodeDegraded) so the
+// gateway fails over to a replica with a healthy copy.
+//
+// Note the cache interaction: 206 responses are never cached, so degraded
+// answers always recompute; entries cached before a block went bad replay
+// answers computed over strictly healthier data, which stays correct.
+func (s *Server) quarantinePartial(scale float64) (partialInfo, error) {
+	quar := s.x.QuarantinedWorlds()
+	if quar == 0 {
+		return partialInfo{}, nil
+	}
+	live := s.x.LiveWorlds()
+	if live == 0 {
+		return partialInfo{}, &apiError{
+			status: http.StatusServiceUnavailable,
+			code:   CodeDegraded,
+			msg:    "index degraded: every world block is quarantined; repair the file with soifsck",
+		}
+	}
+	return partialInfo{
+		Partial:           true,
+		WorldsUsed:        live,
+		WorldsQuarantined: quar,
+		ErrorBound:        checkpoint.ErrorBound(live) * scale,
+	}, nil
+}
+
 // querySeed derives the sampling seed for a request from the server seed and
 // the queried nodes, so distinct queries draw independent streams while the
 // same query is reproducible (and therefore cacheable) across requests.
@@ -99,6 +134,10 @@ func (s *Server) handleSphere(req *http.Request) (result, error) {
 	sc := s.scratch.Get().(*index.Scratch)
 	r := core.ComputeWithScratch(s.x, v, core.Options{Telemetry: s.cfg.Telemetry}, sc)
 	s.scratch.Put(sc)
+	qp, err := s.quarantinePartial(1) // sample cost is a [0,1] Jaccard average
+	if err != nil {
+		return result{}, err
+	}
 
 	resp := sphereResponse{
 		Node:       s.orig(v),
@@ -117,10 +156,11 @@ func (s *Server) handleSphere(req *http.Request) (result, error) {
 		}
 		resp.Stability = &stab
 		resp.StabilitySamples = achieved
-		resp.partialInfo = partialOf(pe, 1) // Jaccard distance: bound already in [0,1]
-		return result{status: statusFor(pe), v: resp}, nil
+		resp.partialInfo = mergePartial(partialOf(pe, 1), qp) // Jaccard distance: bound already in [0,1]
+		return result{status: partialStatus(resp.partialInfo), v: resp}, nil
 	}
-	return ok(resp), nil
+	resp.partialInfo = qp
+	return result{status: partialStatus(qp), v: resp}, nil
 }
 
 // handleStability serves GET /v1/stability?seeds=...: the typical cascade of
@@ -140,6 +180,10 @@ func (s *Server) handleStability(req *http.Request) (result, error) {
 	}
 
 	r := core.ComputeFromSet(s.x, seeds, core.Options{Telemetry: s.cfg.Telemetry})
+	qp, err := s.quarantinePartial(1)
+	if err != nil {
+		return result{}, err
+	}
 	stab, achieved, err := core.EstimateCostBudget(req.Context(), s.g,
 		seeds, r.Set, samples, s.querySeed(seeds...), s.cfg.Model,
 		samplingBudget(req.Context()))
@@ -147,14 +191,15 @@ func (s *Server) handleStability(req *http.Request) (result, error) {
 	if err != nil {
 		return result{}, err
 	}
-	return result{status: statusFor(pe), v: stabilityResponse{
+	pi := mergePartial(partialOf(pe, 1), qp)
+	return result{status: partialStatus(pi), v: stabilityResponse{
 		Seeds:       s.origSlice(seeds),
 		Set:         s.origSlice(r.Set),
 		Size:        r.Size(),
 		SampleCost:  r.SampleCost,
 		Stability:   stab,
 		Samples:     achieved,
-		partialInfo: partialOf(pe, 1),
+		partialInfo: pi,
 	}}, nil
 }
 
@@ -201,11 +246,17 @@ func (s *Server) handleSpread(req *http.Request) (result, error) {
 		sc := s.scratch.Get().(*index.Scratch)
 		spread := cascade.SpreadFromIndex(s.x, seeds, sc)
 		s.scratch.Put(sc)
-		return ok(spreadResponse{
-			Seeds:  s.origSlice(seeds),
-			Spread: spread,
-			Method: "index",
-		}), nil
+		// Spread is in node units, so the [0,1] Hoeffding bound scales by n.
+		qp, err := s.quarantinePartial(float64(s.g.NumNodes()))
+		if err != nil {
+			return result{}, err
+		}
+		return result{status: partialStatus(qp), v: spreadResponse{
+			Seeds:       s.origSlice(seeds),
+			Spread:      spread,
+			Method:      "index",
+			partialInfo: qp,
+		}}, nil
 	case "mc":
 		trials, err := queryInt(req, "trials", s.cfg.trials())
 		if err != nil {
@@ -291,6 +342,10 @@ func (s *Server) handleModes(req *http.Request) (result, error) {
 		return result{}, badRequest("k must be >= 1, got %d", k)
 	}
 	modes := core.AnalyzeModes(s.x, v, k)
+	qp, err := s.quarantinePartial(1) // mode probabilities are [0,1] world fractions
+	if err != nil {
+		return result{}, err
+	}
 	out := make([]modeJSON, len(modes))
 	for i, m := range modes {
 		out[i] = modeJSON{
@@ -300,12 +355,13 @@ func (s *Server) handleModes(req *http.Request) (result, error) {
 			Cost:        m.Cost,
 		}
 	}
-	return ok(modesResponse{
+	return result{status: partialStatus(qp), v: modesResponse{
 		Node:               s.orig(v),
 		K:                  k,
 		Modes:              out,
 		TakeoffProbability: core.TakeoffProbability(modes),
-	}), nil
+		partialInfo:        qp,
+	}}, nil
 }
 
 // handleInfo serves GET /v1/info: the loaded artifacts and their
@@ -313,13 +369,15 @@ func (s *Server) handleModes(req *http.Request) (result, error) {
 // expect.
 func (s *Server) handleInfo(*http.Request) (result, error) {
 	return ok(infoResponse{
-		Nodes:            s.g.NumNodes(),
-		Edges:            s.g.NumEdges(),
-		Worlds:           s.x.NumWorlds(),
-		GraphFingerprint: strconv.FormatUint(s.graphFP, 16),
-		IndexFingerprint: strconv.FormatUint(s.indexFP, 16),
-		SpheresLoaded:    s.spheres != nil,
-		CacheEntries:     s.cache.len(),
-		UptimeSeconds:    int64(time.Since(s.started).Seconds()),
+		Nodes:             s.g.NumNodes(),
+		Edges:             s.g.NumEdges(),
+		Worlds:            s.x.NumWorlds(),
+		WorldsQuarantined: s.x.QuarantinedWorlds(),
+		Mmap:              s.x.Lazy(),
+		GraphFingerprint:  strconv.FormatUint(s.graphFP, 16),
+		IndexFingerprint:  strconv.FormatUint(s.indexFP, 16),
+		SpheresLoaded:     s.spheres != nil,
+		CacheEntries:      s.cache.len(),
+		UptimeSeconds:     int64(time.Since(s.started).Seconds()),
 	}), nil
 }

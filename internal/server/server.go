@@ -485,7 +485,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string,
 // gateway (and the loading Gate) emit byte-compatible errors.
 func WriteError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
 	if retryAfter > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Corruption-repair smoke test for the SOIIDX03 pipeline: build an index on
+# disk, flip a byte inside one world block with dd, assert soifsck pinpoints
+# exactly that block, serve the corrupt file with soid -mmap and observe
+# degraded 206 answers (worlds_quarantined + widened error_bound), repair
+# the file with soifsck -repair, and assert the repaired file serves 200.
+#
+# Run via `make fsck-smoke`. Requires only the go toolchain and curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+soid_pid=""
+cleanup() {
+  [ -n "$soid_pid" ] && kill -9 "$soid_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { echo "fsck-smoke: FAIL: $*" >&2; exit 1; }
+
+# --- artifacts: a 30-node ring with shortcuts and a 200-world index -------
+awk 'BEGIN {
+  for (i = 0; i < 30; i++) printf "%d\t%d\t0.8\n", i, (i + 1) % 30;
+  for (i = 0; i < 30; i += 3) printf "%d\t%d\t0.3\n", i, (i + 7) % 30;
+}' > "$work/g.tsv"
+
+echo "fsck-smoke: building binaries"
+go build -o "$work/sphere" ./cmd/sphere
+go build -o "$work/soid" ./cmd/soid
+go build -o "$work/soifsck" ./cmd/soifsck
+
+echo "fsck-smoke: building index"
+"$work/sphere" -graph "$work/g.tsv" -samples 200 -build-index "$work/g.idx" > /dev/null
+
+# --- clean file verifies clean --------------------------------------------
+"$work/soifsck" "$work/g.idx" 2> "$work/fsck0.log" \
+  || { cat "$work/fsck0.log" >&2; fail "soifsck rejected a freshly built index"; }
+grep -q "clean (200 worlds)" "$work/fsck0.log" || fail "no clean verdict for the fresh index"
+echo "fsck-smoke: fresh index verifies clean"
+
+# --- corrupt one block with dd --------------------------------------------
+# soifsck -v prints one "world N: off=X len=Y" line per block; target the
+# middle of world 7's block.
+read -r off len < <("$work/soifsck" -v "$work/g.idx" 2>&1 \
+  | awk 'match($0, /world 7: off=([0-9]+) len=([0-9]+)/) {
+      s = substr($0, RSTART, RLENGTH);
+      split(s, a, /[= ]/); print a[4], a[6] }')
+[ -n "$off" ] && [ -n "$len" ] || fail "could not locate world 7 in soifsck -v output"
+target=$((off + len / 2))
+orig=$(dd if="$work/g.idx" bs=1 skip="$target" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $((orig ^ 255)))" \
+  | dd of="$work/g.idx" bs=1 seek="$target" count=1 conv=notrunc 2>/dev/null
+echo "fsck-smoke: flipped byte at offset $target inside world 7's block"
+
+# --- soifsck reports exactly the corrupted block --------------------------
+code=0; "$work/soifsck" "$work/g.idx" 2> "$work/fsck1.log" || code=$?
+[ "$code" = 1 ] || { cat "$work/fsck1.log" >&2; fail "soifsck exited $code on a corrupt index, want 1"; }
+grep -q "world 7: .*CORRUPT" "$work/fsck1.log" || { cat "$work/fsck1.log" >&2; fail "world 7 not flagged"; }
+grep -q "1 of 200 worlds corrupt" "$work/fsck1.log" || { cat "$work/fsck1.log" >&2; fail "wrong corruption summary"; }
+echo "fsck-smoke: soifsck pinpointed the corrupt block"
+
+start_soid() { # $1: index file, $2: extra env ("" for none)
+  : > "$work/addr"
+  env ${2:+"$2"} "$work/soid" -graph "$work/g.tsv" -index "$1" ${3:-} \
+    -addr 127.0.0.1:0 -addr-file "$work/addr" -drain-timeout 10s 2> "$work/soid.log" &
+  soid_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$work/addr" ] && break
+    kill -0 "$soid_pid" 2>/dev/null || { cat "$work/soid.log" >&2; fail "soid died during startup"; }
+    sleep 0.1
+  done
+  [ -s "$work/addr" ] || fail "timed out waiting for the address file"
+  addr="$(cat "$work/addr")"
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$addr/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+}
+
+stop_soid() {
+  kill -TERM "$soid_pid"
+  wait "$soid_pid" || { cat "$work/soid.log" >&2; fail "soid did not drain cleanly"; }
+  soid_pid=""
+}
+
+get_code() { curl -s -o "$work/body" -w '%{http_code}' "http://$addr$1"; }
+
+# --- soid -mmap serves the corrupt file degraded: 206 + widened bound -----
+echo "fsck-smoke: serving the corrupt index with soid -mmap"
+start_soid "$work/g.idx" "" "-mmap"
+code="$(get_code '/v1/spread?seeds=1,2')"
+[ "$code" = 206 ] || { cat "$work/body" >&2; fail "spread over corrupt index got $code, want 206"; }
+grep -q '"partial":true' "$work/body" || fail "206 body lacks partial flag"
+grep -q '"worlds_quarantined":1' "$work/body" || { cat "$work/body" >&2; fail "206 body lacks worlds_quarantined"; }
+grep -q '"error_bound"' "$work/body" || fail "206 body lacks the widened error bound"
+code="$(get_code '/v1/info')"
+[ "$code" = 200 ] || fail "info got $code"
+grep -q '"worlds_quarantined":1' "$work/body" || { cat "$work/body" >&2; fail "info does not report the quarantine"; }
+grep -q '"mmap":true' "$work/body" || fail "info does not report mmap serving"
+grep -q "QUARANTINE world 7" "$work/soid.log" || { cat "$work/soid.log" >&2; fail "no quarantine log line"; }
+stop_soid
+echo "fsck-smoke: corrupt index served 206 with worlds_quarantined=1"
+
+# --- repair drops the bad world and the result verifies clean -------------
+code=0; "$work/soifsck" -repair "$work/fixed.idx" "$work/g.idx" 2> "$work/fsck2.log" || code=$?
+[ "$code" = 1 ] || { cat "$work/fsck2.log" >&2; fail "repair run exited $code, want 1 (corruption was found)"; }
+grep -q "kept 199 of 200 worlds" "$work/fsck2.log" || { cat "$work/fsck2.log" >&2; fail "unexpected repair summary"; }
+"$work/soifsck" "$work/fixed.idx" 2> "$work/fsck3.log" \
+  || { cat "$work/fsck3.log" >&2; fail "repaired index does not verify clean"; }
+grep -q "clean (199 worlds)" "$work/fsck3.log" || fail "no clean verdict for the repaired index"
+echo "fsck-smoke: repair kept 199 of 200 worlds and verifies clean"
+
+# --- the repaired file serves 200 again (mmap via SOI_INDEX_MMAP=1) -------
+echo "fsck-smoke: serving the repaired index"
+start_soid "$work/fixed.idx" "SOI_INDEX_MMAP=1"
+code="$(get_code '/v1/spread?seeds=1,2')"
+[ "$code" = 200 ] || { cat "$work/body" >&2; fail "spread over repaired index got $code, want 200"; }
+code="$(get_code '/v1/info')"
+grep -q '"worlds_quarantined":0' "$work/body" || { cat "$work/body" >&2; fail "repaired index still reports quarantines"; }
+grep -q '"worlds":199' "$work/body" || { cat "$work/body" >&2; fail "repaired index world count wrong"; }
+stop_soid
+echo "fsck-smoke: PASS"
