@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke topology-smoke fsck-smoke conformance cover all
+.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke topology-smoke fsck-smoke trace-smoke conformance cover all
 
 all: build vet test
 
@@ -24,12 +24,13 @@ bench:
 # by benchmark name. BENCHTIME=1x gives a smoke run; the committed
 # BENCH_*.json baselines use the default benchtime.
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 
 bench-json:
 	{ $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) . ; \
 	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/server ; \
-	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/index ; } \
+	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/index ; \
+	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/trace ; } \
 	  | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz runs over every binary-format decoder (graph TSV, index v02,
@@ -62,6 +63,14 @@ topology-smoke:
 # with soifsck -repair, and assert the repaired file serves 200 again.
 fsck-smoke:
 	./scripts/fsck-smoke.sh
+
+# Distributed-tracing smoke: gateway + two traced shards, follow a healthy
+# query's X-SOI-Request-ID into /debug/traces on both tiers, then kill a
+# shard mid-query and assert the 206's trace shows the dead leg, the
+# retries, and the breaker opening. SOI_SMOKE_ARTIFACTS=<dir> captures
+# logs and trace dumps on failure.
+trace-smoke:
+	./scripts/trace-smoke.sh
 
 # Exact-oracle conformance suite: every estimator checked against the
 # brute-force possible-world oracle within statcheck-derived bounds.

@@ -45,6 +45,7 @@ import (
 
 	"soi"
 	"soi/internal/atomicfile"
+	"soi/internal/cliutil"
 	"soi/internal/core"
 	"soi/internal/graph"
 	"soi/internal/index"
@@ -74,13 +75,15 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "server sampling seed (fixed so identical queries are cacheable)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		statsJSON   = flag.String("stats-json", "", "write the machine-readable run report to this file on exit")
+		tflags      cliutil.TraceFlags
 	)
+	tflags.Register(flag.CommandLine)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("soid: ")
 	if err := run(*graphPath, *indexPath, *spherePath, *samples, *ltModel, *mmapIdx,
 		*addr, *addrFile, *expectFP, *cacheSize, *maxInflight, *maxQueue,
-		*defBudget, *maxBudget, *costSamples, *trials, *seed, *drain, *statsJSON); err != nil {
+		*defBudget, *maxBudget, *costSamples, *trials, *seed, *drain, *statsJSON, tflags); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -88,7 +91,7 @@ func main() {
 func run(graphPath, indexPath, spherePath string, samples int, lt, mmapIdx bool,
 	addr, addrFile, expectFP string, cacheSize, maxInflight, maxQueue int,
 	defBudget, maxBudget time.Duration, costSamples, trials int, seed uint64,
-	drain time.Duration, statsJSON string) error {
+	drain time.Duration, statsJSON string, tflags cliutil.TraceFlags) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -181,6 +184,12 @@ func run(graphPath, indexPath, spherePath string, samples int, lt, mmapIdx bool,
 		}
 	}
 
+	reqLog, err := tflags.OpenRequestLog()
+	if err != nil {
+		return fmt.Errorf("opening request log: %w", err)
+	}
+	defer reqLog.Close()
+
 	srv, err := server.New(server.Config{
 		Graph:         g,
 		OrigIDs:       orig,
@@ -188,6 +197,8 @@ func run(graphPath, indexPath, spherePath string, samples int, lt, mmapIdx bool,
 		Spheres:       spheres,
 		Model:         model,
 		Telemetry:     tel,
+		Tracer:        tflags.Tracer("soid", tel),
+		RequestLog:    reqLog,
 		CacheSize:     cacheSize,
 		MaxInflight:   maxInflight,
 		MaxQueue:      maxQueue,

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"soi/internal/atomicfile"
+	"soi/internal/cliutil"
 	"soi/internal/router"
 	"soi/internal/telemetry"
 )
@@ -58,13 +59,15 @@ func main() {
 		maxBudget = flag.Duration("max-budget", 30*time.Second, "cap on the per-request budget parameter")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		statsJSON = flag.String("stats-json", "", "write the machine-readable run report to this file on exit")
+		tflags    cliutil.TraceFlags
 	)
+	tflags.Register(flag.CommandLine)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("soigw: ")
 	if err := run(*topoPath, *replicas, *addr, *addrFile, *retries, *retryBase,
 		*hedge, *brkFails, *brkCool, *probe, *grace, *defBudget, *maxBudget,
-		*drain, *statsJSON); err != nil {
+		*drain, *statsJSON, tflags); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -98,7 +101,8 @@ func parseReplicas(spec string) ([][]string, error) {
 
 func run(topoPath, replicaSpec, addr, addrFile string, retries int,
 	retryBase, hedge time.Duration, brkFails int, brkCool, probe, grace,
-	defBudget, maxBudget, drain time.Duration, statsJSON string) error {
+	defBudget, maxBudget, drain time.Duration, statsJSON string,
+	tflags cliutil.TraceFlags) error {
 	if topoPath == "" {
 		return fmt.Errorf("-topology is required")
 	}
@@ -118,6 +122,11 @@ func run(topoPath, replicaSpec, addr, addrFile string, retries int,
 	if retries == 0 {
 		retries = -1 // Config semantics: 0 selects the default, negative disables
 	}
+	reqLog, err := tflags.OpenRequestLog()
+	if err != nil {
+		return fmt.Errorf("opening request log: %w", err)
+	}
+	defer reqLog.Close()
 	rt, err := router.New(router.Config{
 		Topology:        topo,
 		Replicas:        groups,
@@ -131,6 +140,8 @@ func run(topoPath, replicaSpec, addr, addrFile string, retries int,
 		DefaultBudget:   defBudget,
 		MaxBudget:       maxBudget,
 		Telemetry:       tel,
+		Tracer:          tflags.Tracer("soigw", tel),
+		RequestLog:      reqLog,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,53 @@
+package cliutil
+
+import (
+	"flag"
+	"time"
+
+	"soi/internal/telemetry"
+	"soi/internal/trace"
+)
+
+// TraceFlags is the serving daemons' shared tracing configuration (soid and
+// soigw register identical flags, so operators learn one spelling).
+type TraceFlags struct {
+	Ring       int
+	Sample     float64
+	Slow       time.Duration
+	RequestLog string
+}
+
+// Register installs the tracing flags on fs.
+func (f *TraceFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&f.Ring, "trace-ring", 512,
+		"retained-trace ring size (/debug/traces); 0 disables tracing entirely")
+	fs.Float64Var(&f.Sample, "trace-sample", 0.01,
+		"probability an unremarkable trace is retained (errors/206s/slow are always kept); negative keeps only remarkable traces")
+	fs.DurationVar(&f.Slow, "trace-slow", 500*time.Millisecond,
+		"requests at least this slow are always retained")
+	fs.StringVar(&f.RequestLog, "request-log", "",
+		"append one JSON line per request to this file")
+}
+
+// Tracer builds the tracer, or nil when tracing is disabled (-trace-ring 0).
+func (f *TraceFlags) Tracer(service string, tel *telemetry.Registry) *trace.Tracer {
+	if f.Ring <= 0 {
+		return nil
+	}
+	return trace.New(trace.Options{
+		Service:       service,
+		RingSize:      f.Ring,
+		SampleRate:    f.Sample,
+		SlowThreshold: f.Slow,
+		Telemetry:     tel,
+	})
+}
+
+// OpenRequestLog opens the -request-log file, or returns nil (logging
+// disabled) when the flag was not given.
+func (f *TraceFlags) OpenRequestLog() (*trace.RequestLog, error) {
+	if f.RequestLog == "" {
+		return nil, nil
+	}
+	return trace.OpenRequestLog(f.RequestLog)
+}

@@ -16,6 +16,7 @@ import (
 
 	"soi/internal/fault"
 	"soi/internal/server"
+	"soi/internal/trace"
 )
 
 // CodeShardUnavailable is the gateway's error code for a single-shard query
@@ -51,18 +52,20 @@ func (r *Router) buildMux() {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", r.handleReadyz)
-	mux.Handle("GET /v1/info", r.endpoint(r.handleInfo))
+	mux.Handle("GET /v1/info", r.endpoint("info", r.handleInfo))
 	mux.HandleFunc("GET /v1/topology", r.handleTopology)
-	mux.Handle("GET /v1/sphere/{node}", r.endpoint(r.handleSphere))
-	mux.Handle("GET /v1/modes/{node}", r.endpoint(r.handleModes))
-	mux.Handle("GET /v1/stability", r.endpoint(r.handleStability))
-	mux.Handle("GET /v1/seeds", r.endpoint(r.handleSeeds))
-	mux.Handle("GET /v1/spread", r.endpoint(r.handleSpread))
-	mux.Handle("GET /v1/reliability", r.endpoint(r.handleReliability))
+	mux.Handle("GET /v1/sphere/{node}", r.endpoint("sphere", r.handleSphere))
+	mux.Handle("GET /v1/modes/{node}", r.endpoint("modes", r.handleModes))
+	mux.Handle("GET /v1/stability", r.endpoint("stability", r.handleStability))
+	mux.Handle("GET /v1/seeds", r.endpoint("seeds", r.handleSeeds))
+	mux.Handle("GET /v1/spread", r.endpoint("spread", r.handleSpread))
+	mux.Handle("GET /v1/reliability", r.endpoint("reliability", r.handleReliability))
 
 	if r.cfg.Telemetry != nil {
 		mux.Handle("GET /metrics", r.cfg.Telemetry.Handler())
 	}
+	mux.Handle("GET /debug/traces", r.cfg.Tracer.Handler("/debug/traces"))
+	mux.Handle("GET /debug/traces/", r.cfg.Tracer.Handler("/debug/traces"))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -134,35 +137,97 @@ func (r *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// endpoint wraps a gateway handler with drain check, budget context, error
-// mapping, and degradation metrics.
-func (r *Router) endpoint(fn func(*http.Request) (int, any, error)) http.Handler {
+// degradeCarrier extracts degradeInfo from any merged gateway response (the
+// gw*Response types promote it through their embedded degradeInfo), so the
+// endpoint wrapper can log fan-out health without knowing the response shape.
+type degradeCarrier interface{ degradeFields() degradeInfo }
+
+func (d degradeInfo) degradeFields() degradeInfo { return d }
+
+// endpoint wraps a gateway handler with tracing, drain check, budget context,
+// error mapping, degradation metrics, and the request log.
+func (r *Router) endpoint(name string, fn func(*http.Request) (int, any, error)) http.Handler {
+	spanName := "soigw." + name
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
 		r.mRequests.Inc()
+
+		// Root-or-continued span (a client-supplied traceparent is honored);
+		// the trace id is echoed as X-SOI-Request-ID so clients can quote it
+		// back to /debug/traces/{id}.
+		rctx, span := r.cfg.Tracer.StartRequest(req, spanName,
+			trace.String("endpoint", name), trace.String("path", req.URL.Path))
+		if span != nil {
+			req = req.WithContext(rctx)
+			w.Header().Set(trace.RequestIDHeader, span.RequestID())
+		}
+
+		status := http.StatusOK
+		errCode := ""
+		var deg degradeInfo
+		defer func() {
+			dur := time.Since(start)
+			span.SetHTTPStatus(status)
+			if errCode != "" {
+				span.SetError(errCode)
+			}
+			span.End()
+			if r.cfg.RequestLog != nil {
+				r.cfg.RequestLog.Log(trace.RequestRecord{
+					Service:      "soigw",
+					TraceID:      span.RequestID(),
+					Endpoint:     name,
+					Path:         req.URL.RequestURI(),
+					Status:       status,
+					DurationMS:   float64(dur) / float64(time.Millisecond),
+					ErrorCode:    errCode,
+					Partial:      status == http.StatusPartialContent,
+					ErrorBound:   deg.ErrorBound,
+					ShardsOK:     deg.ShardsOK,
+					ShardsTotal:  deg.ShardsTotal,
+					FailedShards: deg.FailedShards,
+				})
+			}
+		}()
+
 		if r.draining.Load() {
-			server.WriteError(w, http.StatusServiceUnavailable, server.CodeDraining, "gateway is draining", time.Second)
+			status, errCode = http.StatusServiceUnavailable, server.CodeDraining
+			server.WriteError(w, status, errCode, "gateway is draining", time.Second)
 			return
 		}
 		budget, err := r.requestBudget(req)
 		if err != nil {
-			server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error(), 0)
+			status, errCode = http.StatusBadRequest, server.CodeBadRequest
+			server.WriteError(w, status, errCode, err.Error(), 0)
 			return
 		}
 		ctx, cancel := context.WithDeadline(req.Context(), r.now().Add(budget))
 		defer cancel()
-		status, v, err := fn(req.WithContext(withBudget(ctx, budget)))
+		st, v, err := fn(req.WithContext(withBudget(ctx, budget)))
 		if err != nil {
 			var ge *gwError
 			switch {
 			case asGwError(err, &ge):
+				status, errCode = ge.status, ge.code
 				server.WriteError(w, ge.status, ge.code, ge.msg, ge.retryAfter)
 			default:
-				server.WriteError(w, http.StatusBadGateway, server.CodeInternal, err.Error(), 0)
+				status, errCode = http.StatusBadGateway, server.CodeInternal
+				server.WriteError(w, status, errCode, err.Error(), 0)
 			}
 			return
 		}
+		status = st
+		if dc, ok := v.(degradeCarrier); ok {
+			deg = dc.degradeFields()
+		}
 		if status == http.StatusPartialContent {
 			r.mDegraded.Inc()
+			// The merge widened the answer: record how far and why on the root
+			// span, so a 206's trace explains itself.
+			span.Event("degraded",
+				trace.Int("shards_ok", int64(deg.ShardsOK)),
+				trace.Int("shards_total", int64(deg.ShardsTotal)),
+				trace.Float("error_bound", deg.ErrorBound))
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)

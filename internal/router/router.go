@@ -16,6 +16,7 @@ import (
 
 	"soi/internal/server"
 	"soi/internal/telemetry"
+	"soi/internal/trace"
 )
 
 // Config assembles a Router.
@@ -59,6 +60,11 @@ type Config struct {
 
 	// Telemetry receives router metrics; nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Tracer traces gateway requests (root span per request, child span per
+	// shard leg); nil disables tracing.
+	Tracer *trace.Tracer
+	// RequestLog receives one JSONL record per gateway request; nil disables.
+	RequestLog *trace.RequestLog
 	// Seed seeds backoff jitter; 0 selects 1.
 	Seed uint64
 	// now is the clock (tests); nil selects time.Now.
@@ -329,7 +335,23 @@ func (a *attemptOut) retryable() bool {
 // candidate ordering (healthy first), per-replica circuit breakers, hedging
 // against a second replica, and bounded retries with full-jitter backoff.
 // pathQ is the path+query to GET, e.g. "/v1/spread?seeds=1,2&budget=1s".
-func (r *Router) fetchShard(ctx context.Context, shard int, pathQ string) shardReply {
+//
+// The leg is one span of the request trace: retries, hedges, and breaker
+// refusals/transitions land on it as events, and doGET propagates it
+// downstream via traceparent so the shard's own spans parent under it.
+func (r *Router) fetchShard(ctx context.Context, shard int, pathQ string) (out shardReply) {
+	lctx, leg := trace.StartChild(ctx, "soigw.leg",
+		trace.Int("shard", int64(shard)), trace.String("path", pathQ))
+	if leg != nil {
+		ctx = lctx
+		defer func() {
+			leg.SetHTTPStatus(out.Status)
+			if out.Err != nil {
+				leg.SetError(out.Err.Error())
+			}
+			leg.End()
+		}()
+	}
 	var last attemptOut
 	last.err = errBreakerOpen
 	retries := r.cfg.maxRetries()
@@ -339,6 +361,7 @@ func (r *Router) fetchShard(ctx context.Context, shard int, pathQ string) shardR
 		}
 		primary, alt := r.pick(shard, attempt)
 		if primary == nil {
+			leg.Event("breaker_refused", trace.Int("attempt", int64(attempt)))
 			last = attemptOut{err: errBreakerOpen}
 		} else {
 			last = r.hedgedAttempt(ctx, primary, alt, pathQ)
@@ -351,6 +374,10 @@ func (r *Router) fetchShard(ctx context.Context, shard int, pathQ string) shardR
 			return r.reply(shard, last, nil)
 		}
 		r.mRetries.Inc()
+		leg.Event("retry",
+			trace.Int("attempt", int64(attempt+1)),
+			trace.Int("prev_status", int64(last.status)),
+			trace.Int("hint_ms", int64(last.retryAfter/time.Millisecond)))
 		if !r.backoff(ctx, attempt, last.retryAfter) {
 			return r.reply(shard, last, ctx.Err())
 		}
@@ -421,6 +448,7 @@ func (r *Router) hedgedAttempt(ctx context.Context, primary, alt *replica, pathQ
 			if !leg.out.retryable() {
 				if leg.hedge {
 					r.mHedgeWins.Inc()
+					trace.FromContext(ctx).Event("hedge_win", trace.String("replica", alt.baseURL))
 				}
 				return leg.out
 			}
@@ -433,6 +461,9 @@ func (r *Router) hedgedAttempt(ctx context.Context, primary, alt *replica, pathQ
 			if launched == 1 {
 				launched = 2
 				r.mHedges.Inc()
+				trace.FromContext(ctx).Event("hedge",
+					trace.Int("delay_ms", int64(delay/time.Millisecond)),
+					trace.String("replica", alt.baseURL))
 				go func() { results <- legOut{out: r.tryReplica(cctx, alt, pathQ), hedge: true} }()
 			}
 		case <-cctx.Done():
@@ -444,19 +475,28 @@ func (r *Router) hedgedAttempt(ctx context.Context, primary, alt *replica, pathQ
 // tryReplica performs one GET against one replica, guarded by its breaker
 // and feeding its latency window.
 func (r *Router) tryReplica(ctx context.Context, rep *replica, pathQ string) attemptOut {
+	sp := trace.FromContext(ctx)
 	if !rep.breaker.Allow() {
+		sp.Event("breaker_refused", trace.String("replica", rep.baseURL))
 		return attemptOut{err: errBreakerOpen}
 	}
 	start := r.now()
 	out := r.doGET(ctx, rep.baseURL+pathQ)
 	elapsed := r.now().Sub(start)
-	r.mShardLat.Observe(elapsed.Nanoseconds())
+	r.mShardLat.ObserveExemplar(elapsed.Nanoseconds(), sp.RequestID())
 	// Breaker accounting: transport errors and retryable server states count
 	// against the replica; application-level answers (2xx and permanent 4xx)
 	// count for it.
 	failure := out.err != nil || (out.status >= 500) ||
 		(out.status != 0 && out.retryable())
+	before := rep.breaker.State()
 	rep.breaker.Report(!failure)
+	if after := rep.breaker.State(); after != before {
+		sp.Event("breaker_transition",
+			trace.String("replica", rep.baseURL),
+			trace.String("from", before.String()),
+			trace.String("to", after.String()))
+	}
 	if !failure {
 		rep.lat.Observe(elapsed)
 	}
@@ -468,6 +508,9 @@ func (r *Router) doGET(ctx context.Context, url string) attemptOut {
 	if err != nil {
 		return attemptOut{err: err}
 	}
+	// Propagate the leg span downstream: the shard continues this trace with
+	// the leg as the remote parent of its server span.
+	trace.Inject(ctx, req.Header)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return attemptOut{err: err}

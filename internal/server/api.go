@@ -71,6 +71,14 @@ func mergePartial(budget, quarantine partialInfo) partialInfo {
 	return out
 }
 
+// partialFields exposes the embedded annotation through partialCarrier: any
+// response struct embedding partialInfo satisfies it by promotion, so the
+// endpoint wrapper can read degradation facts for the request log and trace
+// events without knowing the concrete response type.
+func (p partialInfo) partialFields() partialInfo { return p }
+
+type partialCarrier interface{ partialFields() partialInfo }
+
 // partialStatus maps an annotation to its HTTP status: 206 for any partial
 // answer, 200 otherwise.
 func partialStatus(p partialInfo) int {

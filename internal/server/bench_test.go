@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"testing"
+
+	"soi/internal/trace"
 )
 
 // BenchmarkServerSphereQuery measures the serving pipeline on /v1/sphere:
@@ -13,6 +15,44 @@ import (
 // magnitude faster than cold.
 func BenchmarkServerSphereQuery(b *testing.B) {
 	s := newTestServer(b, nil)
+
+	query := func() int {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sphere/13?source=compute&samples=20", nil))
+		return rec.Code
+	}
+	if code := query(); code != 200 {
+		b.Fatalf("warmup status %d", code)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.cache.clear()
+			if code := query(); code != 200 {
+				b.Fatalf("status %d", code)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		query() // ensure the entry is present
+		for i := 0; i < b.N; i++ {
+			if code := query(); code != 200 {
+				b.Fatalf("status %d", code)
+			}
+		}
+	})
+}
+
+// BenchmarkServerSphereQueryTraced is BenchmarkServerSphereQuery with
+// tracing enabled at the default sample rate: the traced-vs-untraced delta
+// is the serving cost of tracing (target: <2% on the cached path, where
+// spans are the only extra work).
+func BenchmarkServerSphereQueryTraced(b *testing.B) {
+	s := newTestServer(b, func(c *Config) {
+		c.Tracer = trace.New(trace.Options{Service: "soid"})
+	})
 
 	query := func() int {
 		rec := httptest.NewRecorder()

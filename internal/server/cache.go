@@ -8,11 +8,14 @@ import (
 )
 
 // cached is one marshaled response: everything needed to replay it to a
-// later client without recomputing or re-encoding.
+// later client without recomputing or re-encoding. partial mirrors the
+// response body's degradation annotation for the request log and trace
+// events without re-parsing the marshaled bytes.
 type cached struct {
-	key    string
-	status int
-	body   []byte
+	key     string
+	status  int
+	body    []byte
+	partial partialInfo
 }
 
 // lruCache is a size-bounded (entry-count) LRU of marshaled responses.

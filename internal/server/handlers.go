@@ -13,6 +13,7 @@ import (
 	"soi/internal/index"
 	"soi/internal/infmax"
 	"soi/internal/reliability"
+	"soi/internal/trace"
 )
 
 // splitPartial separates budget truncation (a degraded success) from real
@@ -61,6 +62,9 @@ func (s *Server) quarantinePartial(scale float64) (partialInfo, error) {
 			status: http.StatusServiceUnavailable,
 			code:   CodeDegraded,
 			msg:    "index degraded: every world block is quarantined; repair the file with soifsck",
+			// Retryable 503s carry Retry-After so the gateway's backoff
+			// honoring applies before it fails over to a replica.
+			retryAfter: time.Second,
 		}
 	}
 	return partialInfo{
@@ -131,9 +135,11 @@ func (s *Server) handleSphere(req *http.Request) (result, error) {
 		return result{}, badRequest("samples must be >= 0, got %d", samples)
 	}
 
+	csp := trace.Child(req.Context(), "sphere.compute")
 	sc := s.scratch.Get().(*index.Scratch)
 	r := core.ComputeWithScratch(s.x, v, core.Options{Telemetry: s.cfg.Telemetry}, sc)
 	s.scratch.Put(sc)
+	csp.End()
 	qp, err := s.quarantinePartial(1) // sample cost is a [0,1] Jaccard average
 	if err != nil {
 		return result{}, err
@@ -147,9 +153,13 @@ func (s *Server) handleSphere(req *http.Request) (result, error) {
 		Source:     "computed",
 	}
 	if samples > 0 {
-		stab, achieved, err := core.EstimateCostBudget(req.Context(), s.g,
+		ectx, esp := trace.StartChild(req.Context(), "stability.estimate",
+			trace.Int("samples", int64(samples)))
+		stab, achieved, err := core.EstimateCostBudget(ectx, s.g,
 			[]graph.NodeID{v}, r.Set, samples, s.querySeed(v), s.cfg.Model,
-			samplingBudget(req.Context()))
+			samplingBudget(ectx))
+		esp.SetAttrs(trace.Int("achieved", int64(achieved)))
+		esp.End()
 		pe, err := splitPartial(err)
 		if err != nil {
 			return result{}, err
@@ -179,14 +189,20 @@ func (s *Server) handleStability(req *http.Request) (result, error) {
 		return result{}, badRequest("samples must be >= 1, got %d", samples)
 	}
 
+	csp := trace.Child(req.Context(), "sphere.compute")
 	r := core.ComputeFromSet(s.x, seeds, core.Options{Telemetry: s.cfg.Telemetry})
+	csp.End()
 	qp, err := s.quarantinePartial(1)
 	if err != nil {
 		return result{}, err
 	}
-	stab, achieved, err := core.EstimateCostBudget(req.Context(), s.g,
+	ectx, esp := trace.StartChild(req.Context(), "stability.estimate",
+		trace.Int("samples", int64(samples)))
+	stab, achieved, err := core.EstimateCostBudget(ectx, s.g,
 		seeds, r.Set, samples, s.querySeed(seeds...), s.cfg.Model,
-		samplingBudget(req.Context()))
+		samplingBudget(ectx))
+	esp.SetAttrs(trace.Int("achieved", int64(achieved)))
+	esp.End()
 	pe, err := splitPartial(err)
 	if err != nil {
 		return result{}, err
@@ -217,8 +233,10 @@ func (s *Server) handleSeeds(req *http.Request) (result, error) {
 	if k < 1 || k > s.g.NumNodes() {
 		return result{}, badRequest("k must be in [1, %d], got %d", s.g.NumNodes(), k)
 	}
-	sel, err := infmax.TC(req.Context(), s.g, s.tcSets, k,
+	gctx, gsp := trace.StartChild(req.Context(), "seeds.greedy", trace.Int("k", int64(k)))
+	sel, err := infmax.TC(gctx, s.g, s.tcSets, k,
 		infmax.TCOptions{Telemetry: s.cfg.Telemetry})
+	gsp.End()
 	if err != nil {
 		return result{}, err
 	}
@@ -243,9 +261,11 @@ func (s *Server) handleSpread(req *http.Request) (result, error) {
 	method := req.URL.Query().Get("method")
 	switch method {
 	case "", "index":
+		isp := trace.Child(req.Context(), "spread.index")
 		sc := s.scratch.Get().(*index.Scratch)
 		spread := cascade.SpreadFromIndex(s.x, seeds, sc)
 		s.scratch.Put(sc)
+		isp.End()
 		// Spread is in node units, so the [0,1] Hoeffding bound scales by n.
 		qp, err := s.quarantinePartial(float64(s.g.NumNodes()))
 		if err != nil {
@@ -267,9 +287,12 @@ func (s *Server) handleSpread(req *http.Request) (result, error) {
 		}
 		// One worker per request: admission control arbitrates cores across
 		// requests; a single query must not monopolize the process.
-		spread, err := cascade.ExpectedSpreadResumable(req.Context(), s.g, seeds,
+		mctx, msp := trace.StartChild(req.Context(), "spread.mc",
+			trace.Int("trials", int64(trials)))
+		spread, err := cascade.ExpectedSpreadResumable(mctx, s.g, seeds,
 			trials, s.querySeed(seeds...), 1,
-			checkpoint.Config{Budget: samplingBudget(req.Context()), Telemetry: s.cfg.Telemetry})
+			checkpoint.Config{Budget: samplingBudget(mctx), Telemetry: s.cfg.Telemetry})
+		msp.End()
 		pe, err := splitPartial(err)
 		if err != nil {
 			return result{}, err
@@ -311,8 +334,12 @@ func (s *Server) handleReliability(req *http.Request) (result, error) {
 		return result{}, badRequest("samples must be >= 1, got %d", samples)
 	}
 
-	nodes, achieved, err := reliability.SearchBudget(req.Context(), s.g, sources,
-		threshold, samples, s.querySeed(sources...), samplingBudget(req.Context()))
+	rctx, rsp := trace.StartChild(req.Context(), "reliability.search",
+		trace.Int("samples", int64(samples)))
+	nodes, achieved, err := reliability.SearchBudget(rctx, s.g, sources,
+		threshold, samples, s.querySeed(sources...), samplingBudget(rctx))
+	rsp.SetAttrs(trace.Int("achieved", int64(achieved)))
+	rsp.End()
 	pe, err := splitPartial(err)
 	if err != nil {
 		return result{}, err
@@ -341,7 +368,9 @@ func (s *Server) handleModes(req *http.Request) (result, error) {
 	if k < 1 {
 		return result{}, badRequest("k must be >= 1, got %d", k)
 	}
+	msp := trace.Child(req.Context(), "modes.analyze", trace.Int("k", int64(k)))
 	modes := core.AnalyzeModes(s.x, v, k)
+	msp.End()
 	qp, err := s.quarantinePartial(1) // mode probabilities are [0,1] world fractions
 	if err != nil {
 		return result{}, err

@@ -150,4 +150,12 @@ func TestQuarantineAllWorlds503(t *testing.T) {
 	if !RetryableCode(CodeDegraded) {
 		t.Fatal("degraded must be retryable so the gateway fails over")
 	}
+	// Every retryable 503 must carry a backoff hint in both forms, so the
+	// gateway's Retry-After honoring applies before it fails over.
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After header")
+	}
+	if ms, _ := errObj["retry_after_ms"].(float64); ms <= 0 {
+		t.Fatalf("degraded 503 retry_after_ms = %v, want > 0", errObj["retry_after_ms"])
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"soi/internal/index"
 	"soi/internal/infmax"
 	"soi/internal/telemetry"
+	"soi/internal/trace"
 )
 
 // Config assembles a Server. Graph and Index are required; everything else
@@ -47,6 +48,13 @@ type Config struct {
 	// Telemetry receives request counters, per-endpoint latency histograms,
 	// cache and admission metrics; nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Tracer records per-request span trees (root-or-continued via the
+	// incoming traceparent header) with tail-based retention, served on
+	// /debug/traces; nil disables tracing at one nil check per event.
+	Tracer *trace.Tracer
+	// RequestLog receives one structured JSONL line per /v1 request; nil
+	// disables request logging.
+	RequestLog *trace.RequestLog
 
 	// CacheSize bounds the LRU result cache in entries; 0 selects 4096,
 	// negative disables caching.
@@ -287,6 +295,10 @@ func (s *Server) buildMux() {
 	// listener serves queries and their own observability.
 	mux.Handle("GET /metrics", s.cfg.Telemetry.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	// Retained traces: the list view and the full soi.trace/v1 span tree.
+	// With a nil tracer these answer 404 "tracing disabled".
+	mux.Handle("GET /debug/traces", s.cfg.Tracer.Handler("/debug/traces"))
+	mux.Handle("GET /debug/traces/", s.cfg.Tracer.Handler("/debug/traces"))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -340,11 +352,14 @@ type result struct {
 func ok(v any) result { return result{status: http.StatusOK, v: v} }
 
 // apiError is a handler-raised client error with a definite status and
-// machine-readable code.
+// machine-readable code. retryAfter, when non-zero, becomes the response's
+// Retry-After header and retry_after_ms hint — every retryable 503 must
+// carry one so the gateway's Retry-After honoring applies.
 type apiError struct {
-	status int
-	code   string
-	msg    string
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -368,17 +383,59 @@ func conflict(format string, args ...any) *apiError {
 // ctx.Err() before the first sample and turn every 206 into a 503.
 const budgetGrace = 5 * time.Second
 
-// endpoint wraps a handler with the serving pipeline: metrics, drain check,
-// cache, budget, singleflight, admission, and error mapping.
+// endpoint wraps a handler with the serving pipeline: tracing, metrics,
+// drain check, cache, budget, singleflight, admission, and error mapping.
 func (s *Server) endpoint(name string, cacheable bool, fn func(*http.Request) (result, error)) http.Handler {
+	spanName := "soid." + name
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
 		s.mRequests.Inc()
 		s.mByName[name].Inc()
-		defer func() { s.mLatency[name].Observe(time.Since(start).Nanoseconds()) }()
+
+		// Root-or-continued span: a bare client request roots a fresh trace;
+		// a gateway leg carrying traceparent joins the gateway's trace. The
+		// trace id is echoed as X-SOI-Request-ID so the client can quote it
+		// at /debug/traces/{id}.
+		rctx, span := s.cfg.Tracer.StartRequest(req, spanName,
+			trace.String("endpoint", name), trace.String("path", req.URL.Path))
+		if span != nil {
+			req = req.WithContext(rctx)
+			w.Header().Set(trace.RequestIDHeader, span.RequestID())
+		}
+
+		status := http.StatusOK
+		errCode := ""
+		cacheState := ""
+		var pi partialInfo
+		defer func() {
+			dur := time.Since(start)
+			s.mLatency[name].ObserveExemplar(dur.Nanoseconds(), span.RequestID())
+			span.SetHTTPStatus(status)
+			if errCode != "" {
+				span.SetError(errCode)
+			}
+			span.End()
+			if s.cfg.RequestLog != nil {
+				s.cfg.RequestLog.Log(trace.RequestRecord{
+					Service:    "soid",
+					TraceID:    span.RequestID(),
+					Endpoint:   name,
+					Path:       req.URL.RequestURI(),
+					Status:     status,
+					DurationMS: float64(dur) / float64(time.Millisecond),
+					Cache:      cacheState,
+					ErrorCode:  errCode,
+					Partial:    pi.Partial,
+					Achieved:   pi.Achieved,
+					Requested:  pi.Requested,
+					ErrorBound: pi.ErrorBound,
+				})
+			}
+		}()
 
 		if s.draining.Load() {
-			s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", time.Second)
+			status, errCode = http.StatusServiceUnavailable, CodeDraining
+			s.writeError(w, status, errCode, "server is draining", time.Second)
 			return
 		}
 
@@ -386,15 +443,22 @@ func (s *Server) endpoint(name string, cacheable bool, fn func(*http.Request) (r
 		useCache := cacheable && s.cfg.cacheSize() > 0
 		if useCache {
 			key = s.cacheKey(name, req)
-			if ent, hit := s.cache.get(key); hit {
+			lspan := trace.Child(req.Context(), "cache.lookup")
+			ent, hit := s.cache.get(key)
+			lspan.SetAttrs(trace.Bool("hit", hit))
+			lspan.End()
+			if hit {
+				status, pi, cacheState = ent.status, ent.partial, "hit"
 				writeCached(w, ent, true)
 				return
 			}
+			cacheState = "miss"
 		}
 
 		budget, err := s.requestBudget(req)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
+			status, errCode = http.StatusBadRequest, CodeBadRequest
+			s.writeError(w, status, errCode, err.Error(), 0)
 			return
 		}
 		deadline := start.Add(budget)
@@ -403,36 +467,64 @@ func (s *Server) endpoint(name string, cacheable bool, fn func(*http.Request) (r
 		req = req.WithContext(withBudgetDeadline(ctx, deadline))
 
 		compute := func() (*cached, error) {
-			if err := s.adm.acquire(ctx); err != nil {
+			wspan := trace.Child(req.Context(), "admission.wait")
+			err := s.adm.acquire(req.Context())
+			wspan.End()
+			if err != nil {
 				return nil, err
 			}
 			defer s.adm.release()
 			if err := fault.Hit(fault.ServerCompute); err != nil {
 				return nil, err
 			}
-			res, err := fn(req)
+			cctx, cspan := trace.StartChild(req.Context(), "compute")
+			res, err := fn(req.WithContext(cctx))
 			if err != nil {
+				cspan.SetError(err.Error())
+				cspan.End()
 				return nil, err
 			}
+			cspan.SetHTTPStatus(res.status)
+			cspan.End()
 			body, err := json.Marshal(res.v)
 			if err != nil {
 				return nil, err
 			}
-			return &cached{key: key, status: res.status, body: append(body, '\n')}, nil
+			ent := &cached{key: key, status: res.status, body: append(body, '\n')}
+			if pc, ok := res.v.(partialCarrier); ok {
+				ent.partial = pc.partialFields()
+			}
+			return ent, nil
 		}
 
 		var ent *cached
+		var shared bool
 		if useCache {
-			ent, err = s.flights.do(ctx, key, compute)
+			fspan := trace.Child(req.Context(), "singleflight.do")
+			ent, shared, err = s.flights.do(ctx, key, compute)
+			fspan.SetAttrs(trace.Bool("shared", shared))
+			fspan.End()
+			if shared {
+				cacheState = "shared"
+			}
 		} else {
 			ent, err = compute()
 		}
 		if err != nil {
-			s.writeMappedError(w, err)
+			status, errCode = s.writeMappedError(w, err)
 			return
 		}
+		status, pi = ent.status, ent.partial
 		if ent.status == http.StatusPartialContent {
 			s.mPartials.Inc()
+			// The degradation event ties the 206 to its cause: how much
+			// sampling the budget bought and how many worlds quarantine took.
+			span.Event("degraded",
+				trace.Int("achieved", int64(pi.Achieved)),
+				trace.Int("requested", int64(pi.Requested)),
+				trace.Float("error_bound", pi.ErrorBound),
+				trace.Int("worlds_used", int64(pi.WorldsUsed)),
+				trace.Int("worlds_quarantined", int64(pi.WorldsQuarantined)))
 		}
 		// Only complete (200) results are cached: a 206 reflects this
 		// request's budget, and replaying degraded data to a patient client
@@ -455,22 +547,29 @@ func writeCached(w http.ResponseWriter, ent *cached, hit bool) {
 	w.Write(ent.body)
 }
 
-func (s *Server) writeMappedError(w http.ResponseWriter, err error) {
+// writeMappedError maps err onto the /v1 error envelope and returns the
+// (status, code) it wrote, for the request's span and log line.
+func (s *Server) writeMappedError(w http.ResponseWriter, err error) (int, string) {
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
-		s.writeError(w, ae.status, ae.code, ae.msg, 0)
+		s.writeError(w, ae.status, ae.code, ae.msg, ae.retryAfter)
+		return ae.status, ae.code
 	case errors.Is(err, errOverload):
 		s.mRejected.Inc()
 		s.writeError(w, http.StatusTooManyRequests, CodeOverloaded, err.Error(), time.Second)
+		return http.StatusTooManyRequests, CodeOverloaded
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, checkpoint.ErrDeadline):
 		s.writeError(w, http.StatusServiceUnavailable, CodeBudget,
 			"request budget too small to produce a result; retry with a larger budget", time.Second)
+		return http.StatusServiceUnavailable, CodeBudget
 	case errors.Is(err, context.Canceled):
 		// Client went away; status code is a formality.
 		s.writeError(w, http.StatusServiceUnavailable, CodeCanceled, "request canceled", 0)
+		return http.StatusServiceUnavailable, CodeCanceled
 	default:
 		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+		return http.StatusInternalServerError, CodeInternal
 	}
 }
 

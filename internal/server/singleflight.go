@@ -33,17 +33,18 @@ func newFlightGroup(tel *telemetry.Registry) *flightGroup {
 
 // do runs fn once per key among concurrent callers. Followers wait for the
 // leader's result but give up when their own ctx expires — a follower with a
-// tight budget is not held hostage by a slow leader.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cached, error)) (*cached, error) {
+// tight budget is not held hostage by a slow leader. The bool reports
+// whether this caller was a follower sharing the leader's result.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cached, error)) (*cached, bool, error) {
 	g.mu.Lock()
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		g.shared.Inc()
 		select {
 		case <-f.done:
-			return f.ent, f.err
+			return f.ent, true, f.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, true, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}
@@ -56,5 +57,5 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cached, er
 	delete(g.m, key)
 	g.mu.Unlock()
 	close(f.done)
-	return f.ent, f.err
+	return f.ent, false, f.err
 }

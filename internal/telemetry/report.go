@@ -162,7 +162,11 @@ func (rep Report) WriteTable(w io.Writer) {
 		fmt.Fprintln(w, "  histograms:")
 		for _, name := range sortedNames(rep.Histograms) {
 			h := rep.Histograms[name]
-			fmt.Fprintf(w, "    %-36s count=%d sum=%d mean=%.2f\n", name, h.Count, h.Sum, h.Mean)
+			fmt.Fprintf(w, "    %-36s count=%d sum=%d mean=%.2f", name, h.Count, h.Sum, h.Mean)
+			if h.Count > 0 {
+				fmt.Fprintf(w, " p50=%.0f p90=%.0f p99=%.0f", h.P50, h.P90, h.P99)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 }

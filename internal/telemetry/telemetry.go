@@ -92,6 +92,20 @@ type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	buckets [histBuckets]atomic.Int64
+
+	// Exemplars link the aggregate distribution back to individual traces:
+	// the most recent exemplar-carrying observation and the largest one seen
+	// (the worst request so far — the one an operator wants to pull up in
+	// /debug/traces/{id}).
+	exLast atomic.Pointer[Exemplar]
+	exMax  atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it, so a
+// latency histogram's tail is one copy-paste away from the full span tree.
+type Exemplar struct {
+	Value   int64  `json:"value"`
+	TraceID string `json:"trace_id"`
 }
 
 // Observe records one value. Values <= 0 land in the first bucket.
@@ -108,6 +122,30 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[i].Add(1)
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty, attaches
+// it as an exemplar: it becomes the "last" exemplar unconditionally and the
+// "max" exemplar if it exceeds the current maximum. Lock-free.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	ex := &Exemplar{Value: v, TraceID: traceID}
+	h.exLast.Store(ex)
+	for {
+		cur := h.exMax.Load()
+		if cur != nil && cur.Value >= v {
+			return
+		}
+		if h.exMax.CompareAndSwap(cur, ex) {
+			return
+		}
+	}
+}
+
 // Bucket is one non-empty histogram bucket: Count observations were <= Le
 // (and greater than the previous bucket's Le). Counts are per-bucket, not
 // cumulative; the Prometheus renderer accumulates them.
@@ -116,12 +154,63 @@ type Bucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time copy of a histogram.
+// HistogramSnapshot is a point-in-time copy of a histogram. P50/P90/P99 are
+// quantile estimates derived from the log2 buckets (linear interpolation
+// within the matching bucket), so reports carry ready-made quantiles instead
+// of requiring readers to reconstruct them from bucket counts.
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
 	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50,omitempty"`
+	P90     float64  `json:"p90,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"` // non-empty buckets, ascending Le
+	// ExemplarLast / ExemplarMax tie the distribution to concrete traces:
+	// the most recent and the largest exemplar-carrying observations.
+	ExemplarLast *Exemplar `json:"exemplar_last,omitempty"`
+	ExemplarMax  *Exemplar `json:"exemplar_max,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts:
+// the matching log2 bucket is found by cumulative rank and the value is
+// linearly interpolated across its [2^(i-1), 2^i - 1] range. The estimate is
+// exact at bucket boundaries and within a factor of 2 inside a bucket —
+// the resolution the log2 layout buys.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		prev := float64(cum)
+		cum += b.Count
+		if float64(cum) >= rank {
+			// Bucket with Le = 2^i - 1 holds v in [2^(i-1), 2^i - 1]; the
+			// first bucket (Le 0) holds v <= 0.
+			lo := float64(0)
+			if b.Le > 0 {
+				lo = float64(b.Le+1) / 2
+			}
+			hi := float64(b.Le)
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if b.Count > 0 {
+				frac = (rank - prev) / float64(b.Count)
+			}
+			return lo + frac*(hi-lo)
+		}
+	}
+	return float64(s.Buckets[len(s.Buckets)-1].Le)
 }
 
 // Snapshot copies the histogram's current state. Concurrent Observe calls
@@ -146,6 +235,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: n})
 	}
+	if s.Count > 0 {
+		s.P50 = s.Quantile(0.50)
+		s.P90 = s.Quantile(0.90)
+		s.P99 = s.Quantile(0.99)
+	}
+	s.ExemplarLast = h.exLast.Load()
+	s.ExemplarMax = h.exMax.Load()
 	return s
 }
 

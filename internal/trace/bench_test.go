@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// The disabled-tracing contract, mirrored from BenchmarkCounterDisabled in
+// internal/telemetry: with a nil tracer, instrumented code pays one nil
+// check per event and must not allocate.
+
+func BenchmarkSpanEventDisabled(b *testing.B) {
+	var tr *Tracer
+	_, span := tr.StartSpan(context.Background(), "req")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		span.Event("tick")
+	}
+}
+
+func BenchmarkStartChildDisabled(b *testing.B) {
+	ctx := context.Background() // no span: the disabled serving path
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, c := StartChild(ctx, "compute")
+		c.End()
+	}
+}
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartSpan(ctx, "req")
+		s.End()
+	}
+}
+
+func BenchmarkSpanEventEnabled(b *testing.B) {
+	tr := New(Options{Service: "bench", SampleRate: -1})
+	_, span := tr.StartSpan(context.Background(), "req")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Roll the span periodically so the events slice stays bounded.
+		if i&0xffff == 0xffff {
+			span.End()
+			_, span = tr.StartSpan(context.Background(), "req")
+		}
+		span.Event("tick")
+	}
+	b.StopTimer()
+	span.End()
+}
+
+func BenchmarkStartChildEnabled(b *testing.B) {
+	tr := New(Options{Service: "bench", SampleRate: -1})
+	ctx, root := tr.StartSpan(context.Background(), "req")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, c := StartChild(ctx, "compute")
+		c.End()
+	}
+}
+
+func BenchmarkTraceRoundTripDropped(b *testing.B) {
+	// Full request shape: root + two children, boring 200, dropped by
+	// retention. This is the steady-state cost of enabled tracing on the
+	// happy path.
+	tr := New(Options{Service: "bench", SampleRate: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, root := tr.StartSpan(context.Background(), "req")
+		_, c1 := StartChild(ctx, "cache.lookup")
+		c1.End()
+		_, c2 := StartChild(ctx, "compute")
+		c2.End()
+		root.SetHTTPStatus(200)
+		root.End()
+	}
+}

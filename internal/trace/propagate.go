@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// TraceparentHeader is the W3C Trace Context request header carrying the
+// trace id, the caller's span id, and the sampled flag across process
+// boundaries.
+const TraceparentHeader = "traceparent"
+
+// TraceID is a 128-bit trace identifier, rendered as 32 lowercase hex
+// digits (the W3C trace-id field).
+type TraceID struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id.Hi == 0 && id.Lo == 0 }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string {
+	var b [16]byte
+	putUint64(b[:8], id.Hi)
+	putUint64(b[8:], id.Lo)
+	return hex.EncodeToString(b[:])
+}
+
+// SpanID is a 64-bit span identifier, rendered as 16 lowercase hex digits
+// (the W3C parent-id field).
+type SpanID uint64
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string {
+	var b [8]byte
+	putUint64(b[:], uint64(id))
+	return hex.EncodeToString(b[:])
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Link is a parsed traceparent: the remote trace id, the caller's span id,
+// and the sampled flag.
+type Link struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// ParseTraceID parses 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, bool) {
+	if len(s) != 32 {
+		return TraceID{}, false
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return TraceID{}, false
+	}
+	id := TraceID{Hi: beUint64(b[:8]), Lo: beUint64(b[8:])}
+	if id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for _, c := range b {
+		v = v<<8 | uint64(c)
+	}
+	return v
+}
+
+// ParseTraceparent parses a W3C traceparent header value:
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Per the spec, an unknown (non-ff) version is accepted as long as the
+// version-00 prefix fields parse; malformed values are rejected (the
+// receiver then starts a fresh trace).
+func ParseTraceparent(v string) (Link, bool) {
+	v = strings.TrimSpace(v)
+	parts := strings.Split(v, "-")
+	if len(parts) < 4 {
+		return Link{}, false
+	}
+	ver := parts[0]
+	if len(ver) != 2 || ver == "ff" {
+		return Link{}, false
+	}
+	if _, err := hex.DecodeString(ver); err != nil {
+		return Link{}, false
+	}
+	// Version 00 has exactly four fields; future versions may append more.
+	if ver == "00" && len(parts) != 4 {
+		return Link{}, false
+	}
+	tid, ok := ParseTraceID(parts[1])
+	if !ok {
+		return Link{}, false
+	}
+	if len(parts[2]) != 16 {
+		return Link{}, false
+	}
+	sb, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return Link{}, false
+	}
+	sid := SpanID(beUint64(sb))
+	if sid == 0 {
+		return Link{}, false
+	}
+	if len(parts[3]) != 2 {
+		return Link{}, false
+	}
+	fb, err := hex.DecodeString(parts[3])
+	if err != nil {
+		return Link{}, false
+	}
+	return Link{TraceID: tid, SpanID: sid, Sampled: fb[0]&0x01 != 0}, true
+}
+
+// FormatTraceparent renders a version-00 traceparent value.
+func FormatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + tid.String() + "-" + sid.String() + "-" + flags
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// RequestRecord is one line of the structured request log: everything an
+// operator needs to triage a single request without grepping server output —
+// the trace id to pull the full tree, the endpoint and status, and the
+// accuracy actually delivered (achieved/requested samples, error bound,
+// shard fan-out).
+type RequestRecord struct {
+	Time       time.Time `json:"time"`
+	Service    string    `json:"service"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	Endpoint   string    `json:"endpoint"`
+	Path       string    `json:"path"`
+	Status     int       `json:"status"`
+	DurationMS float64   `json:"duration_ms"`
+	Cache      string    `json:"cache,omitempty"` // hit | miss | shared
+	ErrorCode  string    `json:"error_code,omitempty"`
+
+	// Degradation accounting (206s and quarantine-scaled answers).
+	Partial    bool    `json:"partial,omitempty"`
+	Achieved   int     `json:"achieved,omitempty"`
+	Requested  int     `json:"requested,omitempty"`
+	ErrorBound float64 `json:"error_bound,omitempty"`
+
+	// Gateway fan-out (soigw only).
+	ShardsOK     int   `json:"shards_ok,omitempty"`
+	ShardsTotal  int   `json:"shards_total,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
+}
+
+// RequestLog writes one JSON line per request. A nil *RequestLog discards
+// records, so callers log unconditionally.
+type RequestLog struct {
+	mu sync.Mutex
+	w  io.Writer
+	c  io.Closer
+}
+
+// OpenRequestLog opens (appending) or creates the JSONL request log at path.
+func OpenRequestLog(path string) (*RequestLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &RequestLog{w: f, c: f}, nil
+}
+
+// NewRequestLog wraps an arbitrary writer (tests).
+func NewRequestLog(w io.Writer) *RequestLog {
+	return &RequestLog{w: w}
+}
+
+// Log appends one record. Serialized internally; safe for concurrent use.
+func (l *RequestLog) Log(rec RequestRecord) {
+	if l == nil {
+		return
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(b)
+	l.mu.Unlock()
+}
+
+// Close closes the underlying file (no-op for writer-backed logs and nil).
+func (l *RequestLog) Close() error {
+	if l == nil || l.c == nil {
+		return nil
+	}
+	return l.c.Close()
+}

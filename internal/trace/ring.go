@@ -1,0 +1,56 @@
+package trace
+
+import "sync"
+
+// ring is the fixed-size retained-trace buffer: the newest size traces that
+// survived the tail-based retention decision, overwriting the oldest. Lookup
+// is a linear scan — the ring is small (hundreds) and read only by humans
+// via /debug/traces.
+type ring struct {
+	mu     sync.Mutex
+	traces []*Trace // circular; len == cap == size once full
+	next   int      // slot the next add overwrites
+	total  uint64   // lifetime adds (monotone, for the list view)
+}
+
+func newRing(size int) *ring {
+	return &ring{traces: make([]*Trace, 0, size)}
+}
+
+func (r *ring) add(tr *Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.traces) < cap(r.traces) {
+		r.traces = append(r.traces, tr)
+		r.next = len(r.traces) % cap(r.traces)
+		return
+	}
+	r.traces[r.next] = tr
+	r.next = (r.next + 1) % len(r.traces)
+}
+
+// recent returns retained traces newest-first.
+func (r *ring) recent() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.traces))
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < len(r.traces); i++ {
+		idx := (r.next - 1 - i + 2*len(r.traces)) % len(r.traces)
+		out = append(out, r.traces[idx])
+	}
+	return out
+}
+
+// get returns the retained trace with the given id, or nil.
+func (r *ring) get(id TraceID) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, tr := range r.traces {
+		if tr.id == id {
+			return tr
+		}
+	}
+	return nil
+}

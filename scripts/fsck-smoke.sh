@@ -17,7 +17,21 @@ cleanup() {
 }
 trap cleanup EXIT
 
-fail() { echo "fsck-smoke: FAIL: $*" >&2; exit 1; }
+fail() {
+  echo "fsck-smoke: FAIL: $*" >&2
+  # Capture logs and the daemon's retained traces for offline triage (CI
+  # uploads SOI_SMOKE_ARTIFACTS when the gauntlet fails).
+  if [ -n "${SOI_SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$SOI_SMOKE_ARTIFACTS"
+    cp "$work"/*.log "$SOI_SMOKE_ARTIFACTS"/ 2>/dev/null || true
+    if [ -n "${addr:-}" ]; then
+      curl -s "http://$addr/debug/traces" \
+        > "$SOI_SMOKE_ARTIFACTS/soid-traces.json" 2>/dev/null || true
+    fi
+    echo "fsck-smoke: artifacts captured in $SOI_SMOKE_ARTIFACTS" >&2
+  fi
+  exit 1
+}
 
 # --- artifacts: a 30-node ring with shortcuts and a 200-world index -------
 awk 'BEGIN {

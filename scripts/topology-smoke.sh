@@ -18,7 +18,21 @@ cleanup() {
 }
 trap cleanup EXIT
 
-fail() { echo "topology-smoke: FAIL: $*" >&2; exit 1; }
+fail() {
+  echo "topology-smoke: FAIL: $*" >&2
+  # Capture logs and the gateway's retained traces for offline triage (CI
+  # uploads SOI_SMOKE_ARTIFACTS when the gauntlet fails).
+  if [ -n "${SOI_SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$SOI_SMOKE_ARTIFACTS"
+    cp "$work"/*.log "$work"/*.json "$SOI_SMOKE_ARTIFACTS"/ 2>/dev/null || true
+    if [ -s "$work/gw.addr" ]; then
+      curl -s "http://$(cat "$work/gw.addr")/debug/traces" \
+        > "$SOI_SMOKE_ARTIFACTS/gw-traces.json" 2>/dev/null || true
+    fi
+    echo "topology-smoke: artifacts captured in $SOI_SMOKE_ARTIFACTS" >&2
+  fi
+  exit 1
+}
 
 # --- artifacts: two disconnected 15-node rings => a clean 2-way partition --
 awk 'BEGIN {
