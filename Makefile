@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke topology-smoke fsck-smoke trace-smoke conformance cover all
+.PHONY: build test race vet bench bench-json fmt fuzz-smoke server-smoke topology-smoke fsck-smoke trace-smoke sketch-smoke conformance cover all
 
 all: build vet test
 
@@ -24,13 +24,15 @@ bench:
 # by benchmark name. BENCHTIME=1x gives a smoke run; the committed
 # BENCH_*.json baselines use the default benchtime.
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr10.json
 
 bench-json:
 	{ $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) . ; \
 	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/server ; \
 	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/index ; \
-	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/trace ; } \
+	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/trace ; \
+	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/sketch ; \
+	  $(GO) test -run=^$$ -bench=. -benchtime=$(BENCHTIME) ./internal/infmax ; } \
 	  | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz runs over every binary-format decoder (graph TSV, index v02,
@@ -43,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/index
 	$(GO) test -run=^$$ -fuzz='^FuzzReadV03$$' -fuzztime=$(FUZZTIME) ./internal/index
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run=^$$ -fuzz=FuzzReadSketch -fuzztime=$(FUZZTIME) ./internal/sketch
 
 # End-to-end serving smoke: build soid, start it on an ephemeral port
 # against a tiny dataset, run a scripted client session (incl. a forced 206
@@ -71,6 +74,13 @@ fsck-smoke:
 # logs and trace dumps on failure.
 trace-smoke:
 	./scripts/trace-smoke.sh
+
+# Sketch-estimation smoke: build an index and a SOISKC01 sketch with sphere,
+# serve both with soid, query /v1/{spread,sphere,seeds} with estimator=sketch,
+# and assert every sketch answer lands within its own reported error_bound of
+# the dense index answer.
+sketch-smoke:
+	./scripts/sketch-smoke.sh
 
 # Exact-oracle conformance suite: every estimator checked against the
 # brute-force possible-world oracle within statcheck-derived bounds.

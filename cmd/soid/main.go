@@ -50,6 +50,7 @@ import (
 	"soi/internal/graph"
 	"soi/internal/index"
 	"soi/internal/server"
+	"soi/internal/sketch"
 	"soi/internal/telemetry"
 )
 
@@ -60,6 +61,7 @@ func main() {
 		mmapIdx   = flag.Bool("mmap", os.Getenv("SOI_INDEX_MMAP") == "1",
 			"memory-map the -index file and fault world blocks in on demand; corrupt blocks are quarantined, not fatal (default from SOI_INDEX_MMAP=1)")
 		spherePath  = flag.String("spheres", "", "sphere store file (sphere -all -store); enables /v1/seeds")
+		sketchPath  = flag.String("sketch", "", "combined bottom-k sketch file (sphere -sketch-out); enables estimator=sketch on /v1/{spread,sphere,seeds}")
 		samples     = flag.Int("samples", 1000, "worlds ℓ when building the index in memory (no -index)")
 		ltModel     = flag.Bool("lt", false, "Linear Threshold model (must match how the index was built)")
 		addr        = flag.String("addr", "localhost:7199", "listen address; :0 picks an ephemeral port")
@@ -81,14 +83,14 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("soid: ")
-	if err := run(*graphPath, *indexPath, *spherePath, *samples, *ltModel, *mmapIdx,
+	if err := run(*graphPath, *indexPath, *spherePath, *sketchPath, *samples, *ltModel, *mmapIdx,
 		*addr, *addrFile, *expectFP, *cacheSize, *maxInflight, *maxQueue,
 		*defBudget, *maxBudget, *costSamples, *trials, *seed, *drain, *statsJSON, tflags); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(graphPath, indexPath, spherePath string, samples int, lt, mmapIdx bool,
+func run(graphPath, indexPath, spherePath, sketchPath string, samples int, lt, mmapIdx bool,
 	addr, addrFile, expectFP string, cacheSize, maxInflight, maxQueue int,
 	defBudget, maxBudget time.Duration, costSamples, trials int, seed uint64,
 	drain time.Duration, statsJSON string, tflags cliutil.TraceFlags) error {
@@ -184,6 +186,15 @@ func run(graphPath, indexPath, spherePath string, samples int, lt, mmapIdx bool,
 		}
 	}
 
+	var sk *sketch.Sketch
+	if sketchPath != "" {
+		sk, err = sketch.LoadFile(sketchPath)
+		if err != nil {
+			return fmt.Errorf("loading sketch %s: %w", sketchPath, err)
+		}
+		sk.SetTelemetry(tel)
+	}
+
 	reqLog, err := tflags.OpenRequestLog()
 	if err != nil {
 		return fmt.Errorf("opening request log: %w", err)
@@ -195,6 +206,7 @@ func run(graphPath, indexPath, spherePath string, samples int, lt, mmapIdx bool,
 		OrigIDs:       orig,
 		Index:         x,
 		Spheres:       spheres,
+		Sketch:        sk,
 		Model:         model,
 		Telemetry:     tel,
 		Tracer:        tflags.Tracer("soid", tel),
@@ -213,8 +225,8 @@ func run(graphPath, indexPath, spherePath string, samples int, lt, mmapIdx bool,
 	}
 
 	gate.Ready(srv.Handler())
-	log.Printf("serving on http://%s  graph=%016x index=%016x nodes=%d worlds=%d spheres=%v mmap=%v",
-		resolved, graphFP, srv.IndexFingerprint(), g.NumNodes(), x.NumWorlds(), spheres != nil, x.Lazy())
+	log.Printf("serving on http://%s  graph=%016x index=%016x nodes=%d worlds=%d spheres=%v sketch=%v mmap=%v",
+		resolved, graphFP, srv.IndexFingerprint(), g.NumNodes(), x.NumWorlds(), spheres != nil, sk != nil, x.Lazy())
 
 	// Block until SIGINT/SIGTERM, then drain: flip the server's drain flag
 	// (new requests get 503 + code "draining", /readyz goes not-ready), then

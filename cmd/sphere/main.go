@@ -35,6 +35,8 @@ import (
 	"soi/internal/core"
 	"soi/internal/graph"
 	"soi/internal/index"
+	"soi/internal/sketch"
+	"soi/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +50,8 @@ func main() {
 		algorithm   = flag.String("algorithm", "prefix", "median algorithm: prefix, majority or exact")
 		indexPath   = flag.String("index", "", "load a previously built index instead of sampling")
 		buildIndex  = flag.String("build-index", "", "build the index, save it to this path, and exit")
+		sketchOut   = flag.String("sketch-out", "", "build a combined bottom-k reachability sketch over the index worlds, save it to this path, and exit (requires -index or -build-index; serve with soid -sketch)")
+		sketchK     = flag.Int("sketch-k", sketch.DefaultK, "bottom-k sketch size: larger k tightens the Cohen bound (ε ≈ sqrt(6·ln(2/δ)/(k-1))) at k×8 bytes per node")
 		noTransRed  = flag.Bool("no-transitive-reduction", false, "disable the condensation transitive reduction")
 		ltModel     = flag.Bool("lt", false, "use the Linear Threshold model (edge weights must satisfy Σ_in <= 1)")
 		outPath     = flag.String("out", "", "write results here instead of stdout")
@@ -71,7 +75,7 @@ func main() {
 		cliutil.Fail("sphere", err)
 	}
 	if err := run(ctx, *graphPath, *node, *all, *samples, *costSamples, *seed,
-		*algorithm, *indexPath, *buildIndex, !*noTransRed, *ltModel, *outPath, *storePath, *modes,
+		*algorithm, *indexPath, *buildIndex, *sketchOut, *sketchK, !*noTransRed, *ltModel, *outPath, *storePath, *modes,
 		*shards, *shardOut, *ckptPath, *deadline, rt); err != nil {
 		rt.Finish(err)
 	}
@@ -79,7 +83,7 @@ func main() {
 }
 
 func run(ctx context.Context, graphPath string, node int, all bool, samples, costSamples int, seed uint64,
-	algorithm, indexPath, buildIndexPath string, transRed, lt bool, outPath, storePath string, modes int,
+	algorithm, indexPath, buildIndexPath, sketchOut string, sketchK int, transRed, lt bool, outPath, storePath string, modes int,
 	shards int, shardOut string, ckptPath string, deadline time.Duration, rt *cliutil.RunTelemetry) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
@@ -144,7 +148,25 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 			return err
 		}
 		fmt.Printf("index with %d worlds saved to %s\n", x.NumWorlds(), buildIndexPath)
+		if sketchOut != "" {
+			// Reopen the file we just wrote: a freshly built in-memory index
+			// and its on-disk form carry different fingerprints, and soid
+			// validates the sketch against the index file it loads — so the
+			// sketch must be keyed to the saved artifact, not the builder.
+			saved, err := index.LoadFile(buildIndexPath, g)
+			if err != nil {
+				return fmt.Errorf("reopening %s to key the sketch: %w", buildIndexPath, err)
+			}
+			saved.SetTelemetry(tel)
+			return saveSketch(saved, sketchOut, sketchK, seed, tel)
+		}
 		return nil
+	}
+	if sketchOut != "" {
+		if indexPath == "" {
+			return fmt.Errorf("-sketch-out requires -index or -build-index: the sketch is fingerprint-keyed to an index file")
+		}
+		return saveSketch(x, sketchOut, sketchK, seed, tel)
 	}
 
 	// The report is buffered and flushed at the end: with -out it is then
@@ -243,6 +265,23 @@ func run(ctx context.Context, graphPath string, node int, all bool, samples, cos
 	}
 	_, err = os.Stdout.Write(buf.Bytes())
 	return err
+}
+
+// saveSketch builds the combined bottom-k sketch over x's worlds and writes
+// it as a SOISKC01 file, fingerprint-keyed to x (which must be file-backed so
+// soid -sketch accepts it alongside soid -index of the same file).
+func saveSketch(x *index.Index, path string, k int, seed uint64, tel *telemetry.Registry) error {
+	sk, err := sketch.Build(x, sketch.Options{K: k, Seed: seed, Telemetry: tel})
+	if err != nil {
+		return err
+	}
+	if err := sk.SaveFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("sketch k=%d over %d worlds (%d live), ±%.1f%% at 95%%, %.1f KiB saved to %s\n",
+		sk.K(), sk.Worlds(), sk.LiveWorlds(), 100*sketch.RelativeError(sk.K(), sketch.ServingDelta),
+		float64(sk.MemoryFootprint())/1024, path)
+	return nil
 }
 
 // suffix derives a per-phase checkpoint file from the -checkpoint prefix;

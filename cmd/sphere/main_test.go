@@ -42,7 +42,7 @@ func TestRunSingleNode(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "out.txt")
-	if err := run(context.Background(), gp, 5, false, 50, 50, 1, "prefix", "", "", true, false, out, "", 2, 0, "", "", 0, noTel()); err != nil {
+	if err := run(context.Background(), gp, 5, false, 50, 50, 1, "prefix", "", "", "", 0, true, false, out, "", 2, 0, "", "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -63,7 +63,7 @@ func TestRunAllWithStore(t *testing.T) {
 	gp := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "out.txt")
 	store := filepath.Join(dir, "spheres.bin")
-	if err := run(context.Background(), gp, -1, true, 30, 0, 1, "prefix", "", "", true, false, out, store, 0, 0, "", "", 0, noTel()); err != nil {
+	if err := run(context.Background(), gp, -1, true, 30, 0, 1, "prefix", "", "", "", 0, true, false, out, store, 0, 0, "", "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(store); err != nil {
@@ -75,11 +75,11 @@ func TestRunIndexRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
 	idx := filepath.Join(dir, "idx.bin")
-	if err := run(context.Background(), gp, -1, false, 30, 0, 1, "prefix", "", idx, true, false, "", "", 0, 0, "", "", 0, noTel()); err != nil {
+	if err := run(context.Background(), gp, -1, false, 30, 0, 1, "prefix", "", idx, "", 0, true, false, "", "", 0, 0, "", "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.txt")
-	if err := run(context.Background(), gp, 3, false, 0, 0, 1, "prefix", idx, "", true, false, out, "", 0, 0, "", "", 0, noTel()); err != nil {
+	if err := run(context.Background(), gp, 3, false, 0, 0, 1, "prefix", idx, "", "", 0, true, false, out, "", 0, 0, "", "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -92,7 +92,7 @@ func TestRunLTModel(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir) // WC weights: valid LT input
 	out := filepath.Join(dir, "out.txt")
-	if err := run(context.Background(), gp, 2, false, 30, 20, 1, "prefix", "", "", true, true, out, "", 0, 0, "", "", 0, noTel()); err != nil {
+	if err := run(context.Background(), gp, 2, false, 30, 20, 1, "prefix", "", "", "", 0, true, true, out, "", 0, 0, "", "", 0, noTel()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -108,13 +108,13 @@ func TestRunCheckpointDeadline(t *testing.T) {
 	ckpt := filepath.Join(dir, "run.ckpt")
 	// 1ns: the deadline has passed by the time sampling starts, so the run
 	// degrades immediately but still completes at least one unit per phase.
-	if err := run(context.Background(), gp, -1, true, 40, 0, 1, "prefix", "", "", true, false, out, "", 0, 0, "", ckpt, 1, noTel()); err != nil {
+	if err := run(context.Background(), gp, -1, true, 40, 0, 1, "prefix", "", "", "", 0, true, false, out, "", 0, 0, "", ckpt, 1, noTel()); err != nil {
 		t.Fatalf("degraded run failed hard: %v", err)
 	}
 	if _, err := os.Stat(ckpt + ".all"); err != nil {
 		t.Fatalf("sweep checkpoint missing after degraded run: %v", err)
 	}
-	if err := run(context.Background(), gp, -1, true, 40, 0, 1, "prefix", "", "", true, false, out, "", 0, 0, "", ckpt, 0, noTel()); err != nil {
+	if err := run(context.Background(), gp, -1, true, 40, 0, 1, "prefix", "", "", "", 0, true, false, out, "", 0, 0, "", ckpt, 0, noTel()); err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
 	for _, suffix := range []string{".idx", ".all"} {
@@ -143,7 +143,7 @@ func TestRunStatsJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), gp, -1, true, 30, 0, 1, "prefix", "", "", true, false, out, "", 0, 0, "", "", 0, rt); err != nil {
+	if err := run(context.Background(), gp, -1, true, 30, 0, 1, "prefix", "", "", "", 0, true, false, out, "", 0, 0, "", "", 0, rt); err != nil {
 		t.Fatal(err)
 	}
 	rt.Flush()
@@ -175,16 +175,16 @@ func TestRunStatsJSON(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	gp := writeTestGraph(t, dir)
-	if err := run(context.Background(), "", 1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, 0, "", "", 0, noTel()); err == nil {
+	if err := run(context.Background(), "", 1, false, 10, 0, 1, "prefix", "", "", "", 0, true, false, "", "", 0, 0, "", "", 0, noTel()); err == nil {
 		t.Error("accepted missing graph")
 	}
-	if err := run(context.Background(), gp, 1, false, 10, 0, 1, "nope", "", "", true, false, "", "", 0, 0, "", "", 0, noTel()); err == nil {
+	if err := run(context.Background(), gp, 1, false, 10, 0, 1, "nope", "", "", "", 0, true, false, "", "", 0, 0, "", "", 0, noTel()); err == nil {
 		t.Error("accepted unknown algorithm")
 	}
-	if err := run(context.Background(), gp, 999, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, 0, "", "", 0, noTel()); err == nil {
+	if err := run(context.Background(), gp, 999, false, 10, 0, 1, "prefix", "", "", "", 0, true, false, "", "", 0, 0, "", "", 0, noTel()); err == nil {
 		t.Error("accepted out-of-range node")
 	}
-	if err := run(context.Background(), gp, -1, false, 10, 0, 1, "prefix", "", "", true, false, "", "", 0, 0, "", "", 0, noTel()); err == nil {
+	if err := run(context.Background(), gp, -1, false, 10, 0, 1, "prefix", "", "", "", 0, true, false, "", "", 0, 0, "", "", 0, noTel()); err == nil {
 		t.Error("accepted neither -node nor -all")
 	}
 }

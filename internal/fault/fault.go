@@ -65,6 +65,8 @@ const (
 	IndexBlockFault = "index/blockfault"
 	// StoreSave fires at the start of core.SaveSpheresFile.
 	StoreSave = "core/save-spheres"
+	// SketchSave fires at the start of Sketch.SaveFile.
+	SketchSave = "sketch/save"
 	// PoolTask fires before every task the worker pool hands out.
 	PoolTask = "pool/task"
 	// ServerCompute fires in the soid query server after a request is

@@ -62,9 +62,10 @@ type shardPartial struct {
 }
 
 type shardSpread struct {
-	Spread float64 `json:"spread"`
-	Method string  `json:"method"`
-	Trials int     `json:"trials"`
+	Spread    float64 `json:"spread"`
+	Method    string  `json:"method"`
+	Trials    int     `json:"trials"`
+	Estimator string  `json:"estimator"`
 	shardPartial
 }
 
@@ -73,6 +74,8 @@ type shardSeeds struct {
 	Gains           []float64 `json:"gains"`
 	Objective       float64   `json:"objective"`
 	LazyEvaluations int       `json:"lazy_evaluations"`
+	Estimator       string    `json:"estimator"`
+	ErrorBound      float64   `json:"error_bound"`
 }
 
 type shardReliability struct {
@@ -95,6 +98,10 @@ type gwSpreadResponse struct {
 	Seeds  []int64 `json:"seeds"`
 	Spread float64 `json:"spread"`
 	Method string  `json:"method"`
+	// Estimator is "sketch" when the shards answered from their combined
+	// bottom-k sketches; the per-shard Cohen bounds then sum into ErrorBound
+	// (shard answers are independent estimates of disjoint contributions).
+	Estimator string `json:"estimator,omitempty"`
 	degradeInfo
 }
 
@@ -105,6 +112,9 @@ type gwSeedsResponse struct {
 	Objective       float64   `json:"objective"`
 	Coverage        float64   `json:"coverage"`
 	LazyEvaluations int       `json:"lazy_evaluations"`
+	// Estimator is "sketch" for SKIM-style sketch-space selection on the
+	// shards (per-shard objective bounds summing into ErrorBound).
+	Estimator string `json:"estimator,omitempty"`
 	degradeInfo
 }
 
@@ -164,6 +174,7 @@ func (r *Router) mergeSpread(legs []shardReply, seedsByShard map[int][]int64, al
 		}
 		resp.Spread += sr.Spread
 		resp.ErrorBound += sr.ErrorBound
+		resp.Estimator = sr.Estimator
 		resp.ShardsOK++
 	}
 	if decodeErr != nil {
@@ -202,6 +213,8 @@ func (r *Router) mergeSeeds(legs []shardReply, k int) (gwSeedsResponse, error) {
 		}
 		resp.ShardsOK++
 		resp.LazyEvaluations += sr.LazyEvaluations
+		resp.ErrorBound += sr.ErrorBound
+		resp.Estimator = sr.Estimator
 		streams = append(streams, &stream{shard: leg.Shard, res: sr})
 	}
 	if decodeErr != nil {

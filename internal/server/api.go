@@ -141,6 +141,7 @@ type ReadyResponse struct {
 	GraphFingerprint string `json:"graph_fingerprint,omitempty"`
 	IndexFingerprint string `json:"index_fingerprint,omitempty"`
 	SpheresLoaded    bool   `json:"spheres_loaded,omitempty"`
+	SketchLoaded     bool   `json:"sketch_loaded,omitempty"`
 }
 
 // sphereResponse answers GET /v1/sphere/{node}.
@@ -157,8 +158,15 @@ type sphereResponse struct {
 	Stability *float64 `json:"stability,omitempty"`
 	// StabilitySamples is how many held-out cascades the estimate used.
 	StabilitySamples int `json:"stability_samples,omitempty"`
-	// Source is "store" (precomputed sphere store) or "computed".
+	// Source is "store" (precomputed sphere store), "computed", or "sketch".
 	Source string `json:"source"`
+	// Estimator is "sketch" when the answer came from the loaded combined
+	// bottom-k sketch; empty (dense) otherwise. Sketch answers carry the
+	// Cohen (ε, δ=0.05) bound in error_bound.
+	Estimator string `json:"estimator,omitempty"`
+	// EstimatedSize is the sketch-estimated expected cascade magnitude
+	// (estimator=sketch only; the sketch knows sizes, not members).
+	EstimatedSize float64 `json:"estimated_size,omitempty"`
 	partialInfo
 }
 
@@ -185,6 +193,13 @@ type seedsResponse struct {
 	// Coverage is Objective / n.
 	Coverage        float64 `json:"coverage"`
 	LazyEvaluations int     `json:"lazy_evaluations"`
+	// Estimator is "sketch" for SKIM-style sketch-space selection (Gains and
+	// Objective are then in expected-spread units); empty for the dense
+	// max-cover over the sphere store.
+	Estimator string `json:"estimator,omitempty"`
+	// ErrorBound is the additive Cohen (ε, δ=0.05) bound on Objective
+	// (estimator=sketch only).
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
 // spreadResponse answers GET /v1/spread.
@@ -196,6 +211,10 @@ type spreadResponse struct {
 	Method string `json:"method"`
 	// Trials is the Monte-Carlo trial count (method "mc" only).
 	Trials int `json:"trials,omitempty"`
+	// Estimator is "sketch" when the spread came from the loaded combined
+	// bottom-k sketch (error_bound then carries the Cohen ε·estimate bound
+	// at δ=0.05); empty for the dense estimators.
+	Estimator string `json:"estimator,omitempty"`
 	partialInfo
 }
 
@@ -244,6 +263,7 @@ type infoResponse struct {
 	GraphFingerprint string `json:"graph_fingerprint"`
 	IndexFingerprint string `json:"index_fingerprint"`
 	SpheresLoaded    bool   `json:"spheres_loaded"`
+	SketchLoaded     bool   `json:"sketch_loaded"`
 	CacheEntries     int    `json:"cache_entries"`
 	UptimeSeconds    int64  `json:"uptime_seconds"`
 }

@@ -9,6 +9,7 @@ import (
 	"soi/internal/graph"
 	"soi/internal/index"
 	"soi/internal/oracle"
+	"soi/internal/sketch"
 	"soi/internal/statcheck"
 	"soi/internal/telemetry"
 )
@@ -19,6 +20,11 @@ import (
 // against ground truth.
 
 const confEll = 20000
+
+// confSketchK is the bottom-k size of the fixture's sketch: big enough for
+// a tight Cohen bound, small enough that the sketch still compresses the
+// n*ell = 100000 (node, world) reachability pairs.
+const confSketchK = 1 << 16
 
 func confGraph(t testing.TB) *graph.Graph {
 	t.Helper()
@@ -73,10 +79,19 @@ func conformanceServer(t testing.TB) (*Server, *graph.Graph, []core.Result) {
 			x = mx
 		}
 		spheres := core.ComputeAll(x, core.Options{CostSamples: 200, CostSeed: 91})
+		// The sketch is built from the same index instance the server loads
+		// (after any mmap swap), so its stored fingerprint matches the one
+		// Config validation checks — exactly the sphere -sketch-out contract.
+		sk, err := sketch.Build(x, sketch.Options{K: confSketchK, Seed: 93})
+		if err != nil {
+			confErr = err
+			return
+		}
 		confSrv, confErr = New(Config{
 			Graph:       g,
 			Index:       x,
 			Spheres:     spheres,
+			Sketch:      sk,
 			Telemetry:   telemetry.New(),
 			MaxInflight: 8,
 			MaxQueue:    256,

@@ -75,6 +75,25 @@ func (s *Server) quarantinePartial(scale float64) (partialInfo, error) {
 	}, nil
 }
 
+// queryEstimator parses the estimator parameter shared by /v1/spread,
+// /v1/sphere, and /v1/seeds: "" and "dense" select the dense per-world
+// estimators, "sketch" the loaded combined bottom-k sketch (a 409 conflict
+// when none is loaded, matching the sphere-store contract).
+func (s *Server) queryEstimator(req *http.Request) (string, error) {
+	est := req.URL.Query().Get("estimator")
+	switch est {
+	case "", "dense":
+		return "", nil
+	case "sketch":
+		if s.sketch == nil {
+			return "", conflict("no sketch loaded; estimator=sketch requires soid -sketch")
+		}
+		return "sketch", nil
+	default:
+		return "", badRequest("bad estimator %q: want dense or sketch", est)
+	}
+}
+
 // querySeed derives the sampling seed for a request from the server seed and
 // the queried nodes, so distinct queries draw independent streams while the
 // same query is reproducible (and therefore cacheable) across requests.
@@ -93,6 +112,25 @@ func (s *Server) handleSphere(req *http.Request) (result, error) {
 	v, err := s.pathNode(req)
 	if err != nil {
 		return result{}, err
+	}
+	est, err := s.queryEstimator(req)
+	if err != nil {
+		return result{}, err
+	}
+	if est == "sketch" {
+		ssp := trace.Child(req.Context(), "sphere.sketch")
+		size := s.sketch.EstimateSphereSize(v)
+		ssp.End()
+		s.mSketch.Inc()
+		resp := sphereResponse{
+			Node:          s.orig(v),
+			Sphere:        []int64{}, // the sketch estimates magnitude, not membership
+			Source:        "sketch",
+			Estimator:     "sketch",
+			EstimatedSize: size,
+		}
+		resp.ErrorBound = s.sketch.ErrorBound(size)
+		return ok(resp), nil
 	}
 	source := req.URL.Query().Get("source")
 	switch source {
@@ -223,8 +261,9 @@ func (s *Server) handleStability(req *http.Request) (result, error) {
 // the loaded sphere store. This endpoint has no sampling to degrade, so the
 // budget (plus grace) acts as a hard timeout instead.
 func (s *Server) handleSeeds(req *http.Request) (result, error) {
-	if s.tcSets == nil {
-		return result{}, conflict("no sphere store loaded; /v1/seeds requires soid -spheres")
+	est, err := s.queryEstimator(req)
+	if err != nil {
+		return result{}, err
 	}
 	k, err := queryInt(req, "k", 0)
 	if err != nil {
@@ -232,6 +271,29 @@ func (s *Server) handleSeeds(req *http.Request) (result, error) {
 	}
 	if k < 1 || k > s.g.NumNodes() {
 		return result{}, badRequest("k must be in [1, %d], got %d", s.g.NumNodes(), k)
+	}
+	if est == "sketch" {
+		gsp := trace.Child(req.Context(), "seeds.sketch_greedy", trace.Int("k", int64(k)))
+		sel, err := infmax.SelectSeedsSketch(s.sketch, k)
+		gsp.End()
+		if err != nil {
+			return result{}, err
+		}
+		s.mSketch.Inc()
+		obj := sel.Objective()
+		return ok(seedsResponse{
+			K:               k,
+			Seeds:           s.origSlice(sel.Seeds),
+			Gains:           sel.Gains,
+			Objective:       obj, // expected-spread units, unlike the TC cover
+			Coverage:        obj / float64(s.g.NumNodes()),
+			LazyEvaluations: sel.LazyEvaluations,
+			Estimator:       "sketch",
+			ErrorBound:      s.sketch.ErrorBound(obj),
+		}), nil
+	}
+	if s.tcSets == nil {
+		return result{}, conflict("no sphere store loaded; /v1/seeds requires soid -spheres")
 	}
 	gctx, gsp := trace.StartChild(req.Context(), "seeds.greedy", trace.Int("k", int64(k)))
 	sel, err := infmax.TC(gctx, s.g, s.tcSets, k,
@@ -258,7 +320,28 @@ func (s *Server) handleSpread(req *http.Request) (result, error) {
 	if err != nil {
 		return result{}, err
 	}
+	est, err := s.queryEstimator(req)
+	if err != nil {
+		return result{}, err
+	}
 	method := req.URL.Query().Get("method")
+	if est == "sketch" {
+		if method != "" && method != "index" {
+			return result{}, badRequest("estimator=sketch answers over the index's worlds; method %q is not compatible", method)
+		}
+		ssp := trace.Child(req.Context(), "spread.sketch")
+		spread := s.sketch.EstimateSpread(seeds)
+		ssp.End()
+		s.mSketch.Inc()
+		resp := spreadResponse{
+			Seeds:     s.origSlice(seeds),
+			Spread:    spread,
+			Method:    "index",
+			Estimator: "sketch",
+		}
+		resp.ErrorBound = s.sketch.ErrorBound(spread)
+		return ok(resp), nil
+	}
 	switch method {
 	case "", "index":
 		isp := trace.Child(req.Context(), "spread.index")
@@ -406,6 +489,7 @@ func (s *Server) handleInfo(*http.Request) (result, error) {
 		GraphFingerprint:  strconv.FormatUint(s.graphFP, 16),
 		IndexFingerprint:  strconv.FormatUint(s.indexFP, 16),
 		SpheresLoaded:     s.spheres != nil,
+		SketchLoaded:      s.sketch != nil,
 		CacheEntries:      s.cache.len(),
 		UptimeSeconds:     int64(time.Since(s.started).Seconds()),
 	}), nil

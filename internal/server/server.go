@@ -23,6 +23,7 @@ import (
 	"soi/internal/graph"
 	"soi/internal/index"
 	"soi/internal/infmax"
+	"soi/internal/sketch"
 	"soi/internal/telemetry"
 	"soi/internal/trace"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// it enables /v1/seeds and the /v1/sphere store fast path. Must have one
 	// entry per graph node.
 	Spheres []core.Result
+	// Sketch is the optional combined bottom-k reachability sketch built
+	// over Index; it enables estimator=sketch on /v1/{spread,sphere,seeds}.
+	// Must be fingerprint-keyed to Index.
+	Sketch *sketch.Sketch
 	// Model is the propagation model the index was built with (the index
 	// format does not record it); server-side sampling must match it.
 	Model index.Model
@@ -145,6 +150,7 @@ type Server struct {
 	g       *graph.Graph
 	x       *index.Index
 	spheres []core.Result
+	sketch  *sketch.Sketch // combined bottom-k sketch for estimator=sketch
 	tcSets  infmax.Spheres // extracted sphere sets for /v1/seeds
 
 	origIDs []int64                // dense -> original; nil = identity
@@ -169,6 +175,7 @@ type Server struct {
 	mPartials *telemetry.Counter
 	mRejected *telemetry.Counter
 	mErrors   *telemetry.Counter
+	mSketch   *telemetry.Counter
 	mLatency  map[string]*telemetry.Histogram
 	mByName   map[string]*telemetry.Counter
 }
@@ -202,6 +209,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.OrigIDs != nil && len(cfg.OrigIDs) != cfg.Graph.NumNodes() {
 		return nil, fmt.Errorf("server: %d original ids for %d nodes", len(cfg.OrigIDs), cfg.Graph.NumNodes())
 	}
+	if cfg.Sketch != nil {
+		// A sketch is meaningless against any index but the one it was built
+		// from: estimates would silently describe other worlds. Refuse at
+		// startup, the same way a wrong-graph index is refused.
+		if got, want := cfg.Sketch.IndexFingerprint(), cfg.Index.Fingerprint(); got != want {
+			return nil, fmt.Errorf("server: sketch was built from a different index (sketch carries index fingerprint %016x, loaded index is %016x) — rebuild with sphere -sketch-out",
+				got, want)
+		}
+		if cfg.Sketch.Nodes() != cfg.Graph.NumNodes() {
+			return nil, fmt.Errorf("server: sketch covers %d nodes for a graph of %d", cfg.Sketch.Nodes(), cfg.Graph.NumNodes())
+		}
+	}
 
 	tel := cfg.Telemetry
 	s := &Server{
@@ -209,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 		g:       cfg.Graph,
 		x:       cfg.Index,
 		spheres: cfg.Spheres,
+		sketch:  cfg.Sketch,
 		origIDs: cfg.OrigIDs,
 		graphFP: graphFP,
 		indexFP: cfg.Index.Fingerprint(),
@@ -222,6 +242,7 @@ func New(cfg Config) (*Server, error) {
 		mPartials: tel.Counter("server.partials"),
 		mRejected: tel.Counter("server.rejected_overload"),
 		mErrors:   tel.Counter("server.errors"),
+		mSketch:   tel.Counter("server.sketch_estimates"),
 		mLatency:  make(map[string]*telemetry.Histogram, len(endpointNames)),
 		mByName:   make(map[string]*telemetry.Counter, len(endpointNames)),
 	}
@@ -272,6 +293,7 @@ func (s *Server) buildMux() {
 			GraphFingerprint: fmt.Sprintf("%016x", s.graphFP),
 			IndexFingerprint: s.fpHex,
 			SpheresLoaded:    s.spheres != nil,
+			SketchLoaded:     s.sketch != nil,
 		}
 		status := http.StatusOK
 		if s.draining.Load() {

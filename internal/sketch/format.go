@@ -1,0 +1,216 @@
+package sketch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"soi/internal/atomicfile"
+	"soi/internal/fault"
+)
+
+// SOISKC01 on-disk format (little endian):
+//
+//	magic   [8]byte "SOISKC01"
+//	nodes   uint32
+//	worlds  uint32            (source index worlds, quarantined included)
+//	live    uint32            (worlds that contributed ranks)
+//	k       uint32
+//	seed    uint64            (rank-hash seed)
+//	indexFP uint64            (Fingerprint of the source index)
+//	off     [nodes+1]uint32   (CSR offsets; off[0] = 0, non-decreasing,
+//	                           per-node count <= k)
+//	ranks   [off[nodes]]uint64 (strictly ascending within each node)
+//	crc     uint32            CRC32-C (Castagnoli) of every preceding byte
+//
+// A sketch is an estimator, so silent corruption would not crash — it
+// would mis-estimate. The reader therefore validates everything it can
+// structurally (offsets, per-node bounds, rank order, trailing bytes) and
+// verifies the checksum unconditionally: a corrupt file fails at open,
+// never at query time.
+
+var sketchMagic = [8]byte{'S', 'O', 'I', 'S', 'K', 'C', '0', '1'}
+
+var sketchCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteTo serializes the sketch in the SOISKC01 format.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	h := crc32.New(sketchCastagnoli)
+	body := io.MultiWriter(bw, h)
+	write := func(v any) error { return binary.Write(body, binary.LittleEndian, v) }
+	if err := write(sketchMagic); err != nil {
+		return cw.n, err
+	}
+	for _, u := range []uint32{uint32(s.nodes), uint32(s.worlds), uint32(s.live), uint32(s.k)} {
+		if err := write(u); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(s.seed); err != nil {
+		return cw.n, err
+	}
+	if err := write(s.fp); err != nil {
+		return cw.n, err
+	}
+	for _, o := range s.off {
+		if err := write(uint32(o)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(s.ranks); err != nil {
+		return cw.n, err
+	}
+	// Footer: checksum of everything above, itself excluded.
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// maxNodes mirrors the sphere store's plausibility cap.
+const maxNodes = 1 << 28
+
+// Read deserializes a SOISKC01 sketch, verifying structure and checksum.
+// The loaded sketch carries no telemetry; attach one with SetTelemetry.
+func Read(r io.Reader) (*Sketch, error) {
+	br := bufio.NewReader(r)
+	h := crc32.New(sketchCastagnoli)
+	body := io.TeeReader(br, h)
+	var m [8]byte
+	if err := binary.Read(body, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("sketch: read magic: %w", err)
+	}
+	if m != sketchMagic {
+		return nil, fmt.Errorf("sketch: bad magic %q", m[:])
+	}
+	var nodes, worlds, live, k uint32
+	var seed, fp uint64
+	for _, dst := range []any{&nodes, &worlds, &live, &k} {
+		if err := binary.Read(body, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("sketch: read header: %w", err)
+		}
+	}
+	if err := binary.Read(body, binary.LittleEndian, &seed); err != nil {
+		return nil, fmt.Errorf("sketch: read header: %w", err)
+	}
+	if err := binary.Read(body, binary.LittleEndian, &fp); err != nil {
+		return nil, fmt.Errorf("sketch: read header: %w", err)
+	}
+	if nodes > maxNodes {
+		return nil, fmt.Errorf("sketch: implausible node count %d", nodes)
+	}
+	if live > worlds {
+		return nil, fmt.Errorf("sketch: live worlds %d exceed total %d", live, worlds)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("sketch: k %d below minimum 2", k)
+	}
+	// Never trust the header for large allocations: grow incrementally so a
+	// corrupted count fails on the first missing record instead of OOMing.
+	off := make([]int32, 0, minU32(nodes+1, 1<<16))
+	prev := uint32(0)
+	for v := uint32(0); v <= nodes; v++ {
+		var o uint32
+		if err := binary.Read(body, binary.LittleEndian, &o); err != nil {
+			return nil, fmt.Errorf("sketch: read offsets: %w", err)
+		}
+		if v == 0 && o != 0 {
+			return nil, fmt.Errorf("sketch: first offset %d, want 0", o)
+		}
+		if o < prev {
+			return nil, fmt.Errorf("sketch: offsets not monotone at node %d", v)
+		}
+		if o-prev > k {
+			return nil, fmt.Errorf("sketch: node %d holds %d ranks, more than k=%d", v-1, o-prev, k)
+		}
+		if o > math.MaxInt32 {
+			return nil, fmt.Errorf("sketch: offset %d overflows", o)
+		}
+		prev = o
+		off = append(off, int32(o))
+	}
+	total := off[nodes]
+	ranks := make([]uint64, 0, minU32(uint32(total), 1<<16))
+	v := uint32(0) // node owning the rank being read, for error messages
+	var last uint64
+	for i := int32(0); i < total; i++ {
+		var rk uint64
+		if err := binary.Read(body, binary.LittleEndian, &rk); err != nil {
+			return nil, fmt.Errorf("sketch: read ranks: %w", err)
+		}
+		for off[v+1] <= i {
+			v++
+		}
+		if i > off[v] && rk <= last {
+			return nil, fmt.Errorf("sketch: node %d ranks not strictly ascending", v)
+		}
+		last = rk
+		ranks = append(ranks, rk)
+	}
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("sketch: read checksum footer: %w", err)
+	}
+	if sum := h.Sum32(); sum != stored {
+		return nil, fmt.Errorf("sketch: checksum mismatch: file carries %08x, payload hashes to %08x (corrupted sketch)", stored, sum)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("sketch: trailing data after checksum footer")
+	}
+	return &Sketch{
+		nodes:  int(nodes),
+		worlds: int(worlds),
+		live:   int(live),
+		k:      int(k),
+		seed:   seed,
+		fp:     fp,
+		off:    off,
+		ranks:  ranks,
+	}, nil
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SaveFile writes the sketch to path atomically (temp file + rename +
+// directory sync), so an interrupted save never leaves a truncated sketch.
+func (s *Sketch) SaveFile(path string) error {
+	if err := fault.Hit(fault.SketchSave); err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := s.WriteTo(w)
+		return err
+	})
+}
+
+// LoadFile reads a SOISKC01 sketch from path.
+func LoadFile(path string) (*Sketch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

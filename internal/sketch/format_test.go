@@ -1,0 +1,143 @@
+package sketch
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"soi/internal/fault"
+	"soi/internal/graph"
+)
+
+func testSketch(t testing.TB) *Sketch {
+	g := randomGraph(t, 30, 0.12, 8)
+	x := buildIndex(t, g, 5, 17)
+	s, err := Build(x, Options{K: 4, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	s := testSketch(t)
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes() != s.Nodes() || got.Worlds() != s.Worlds() || got.LiveWorlds() != s.LiveWorlds() ||
+		got.K() != s.K() || got.Seed() != s.Seed() || got.IndexFingerprint() != s.IndexFingerprint() {
+		t.Fatalf("header mismatch after round trip: %+v vs %+v", got, s)
+	}
+	if !reflect.DeepEqual(got.off, s.off) || !reflect.DeepEqual(got.ranks, s.ranks) {
+		t.Fatal("payload mismatch after round trip")
+	}
+	for v := 0; v < s.Nodes(); v++ {
+		a, b := s.EstimateSphereSize(graph.NodeID(v)), got.EstimateSphereSize(graph.NodeID(v))
+		if a != b {
+			t.Fatalf("node %d: estimate changed across serialization: %v != %v", v, a, b)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := testSketch(t)
+	path := filepath.Join(t.TempDir(), "test.sketch")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.ranks, s.ranks) || got.IndexFingerprint() != s.IndexFingerprint() {
+		t.Fatal("LoadFile does not reproduce the saved sketch")
+	}
+	if got.Telemetry() != nil {
+		t.Fatal("loaded sketch should carry no telemetry until SetTelemetry")
+	}
+}
+
+func TestSaveFileFaultInjection(t *testing.T) {
+	fault.SetActive(true)
+	defer fault.SetActive(false)
+	if err := fault.Enable(fault.SketchSave, fault.Failpoint{Kind: fault.KindError, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := testSketch(t)
+	path := filepath.Join(t.TempDir(), "test.sketch")
+	if err := s.SaveFile(path); err == nil {
+		t.Fatal("armed fault did not fire")
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("failed save left a loadable file behind")
+	}
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadDetectsEveryBitFlip mirrors the index v03 guarantee for SOISKC01:
+// a sketch is an estimator, so undetected corruption would silently
+// mis-estimate rather than crash. Every single-bit corruption of a valid
+// file must therefore be rejected at open — the CRC32-C footer catches the
+// flips the structural validators cannot.
+func TestReadDetectsEveryBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := testSketch(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for pos := range clean {
+		for bit := 0; bit < 8; bit++ {
+			data := append([]byte(nil), clean...)
+			data[pos] ^= 1 << bit
+			if _, err := Read(bytes.NewReader(data)); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d was accepted", pos, bit)
+			}
+		}
+	}
+}
+
+// TestReadRejectsTruncation checks every proper prefix fails cleanly.
+func TestReadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := testSketch(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for cut := 0; cut < len(clean); cut++ {
+		if _, err := Read(bytes.NewReader(clean[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes was accepted", cut, len(clean))
+		}
+	}
+}
+
+func TestReadRejectsTrailingData(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := testSketch(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append(buf.Bytes(), 0)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("trailing byte after the checksum footer was accepted")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("SOIIDX03xxxxxxxx"))); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -105,6 +105,53 @@ func (b Bound) Scale(r float64) Bound {
 	return nb
 }
 
+// BottomK returns the relative-error bound of the bottom-k cardinality
+// estimator (k-1)/rho_k at the default δ. The k-th smallest of m uniform
+// ranks is a Beta(k, m-k+1) order statistic; Chernoff bounds on the
+// binomial count of ranks below (1±ε)k/m give
+//
+//	P[|est - m| > ε·m] <= 2·exp(-(k-1)·ε²/6)   for ε <= 1,
+//
+// so ε = sqrt(6·ln(2/δ)/(k-1)) fails with probability at most δ (Cohen
+// 1997; the constant 6 absorbs both tails' denominators). Eps is
+// *relative*: Scale by the exact cardinality for the additive form.
+func BottomK(k int) Bound {
+	return BottomKDelta(k, DefaultDelta)
+}
+
+// BottomKDelta is BottomK at an explicit failure probability δ.
+func BottomKDelta(k int, delta float64) Bound {
+	if k < 2 {
+		panic(fmt.Sprintf("statcheck: bottom-k needs k >= 2, got %d", k))
+	}
+	if delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("statcheck: delta must be in (0,1), got %v", delta))
+	}
+	eps := math.Sqrt(6 * math.Log(2/delta) / float64(k-1))
+	return Bound{
+		Eps:        eps,
+		Ell:        k,
+		Delta:      delta,
+		Candidates: 1,
+		Derivation: fmt.Sprintf("bottom-k: relative eps = sqrt(6*ln(2/delta)/(k-1)) = sqrt(6*ln(2/%.3g)/%d) = %.6g", delta, k-1, eps),
+	}
+}
+
+// Plus composes two bounds that must hold simultaneously: the tolerances
+// add and so do the failure probabilities (a union bound over the two
+// failure events). Used when an estimate carries error from two independent
+// sources — e.g. world sampling (Hoeffding) plus sketch compression
+// (bottom-k).
+func (b Bound) Plus(o Bound) Bound {
+	return Bound{
+		Eps:        b.Eps + o.Eps,
+		Ell:        b.Ell,
+		Delta:      b.Delta + o.Delta,
+		Candidates: b.Candidates + o.Candidates,
+		Derivation: b.Derivation + "; plus [" + o.Derivation + "]: eps add, delta add (union of failure events)",
+	}
+}
+
 // ERM returns the empirical-risk-minimization bound over k candidates: if
 // Ĉ minimizes the empirical cost over a candidate class of size k that
 // contains the true optimum C*, then with probability 1-δ
